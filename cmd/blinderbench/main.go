@@ -1,0 +1,27 @@
+// Command blinderbench regenerates the §V-C comparison with BLINDER:
+// the Fig. 18 task-order covert channel under no defense, under BLINDER's
+// local-schedule transform, and under TimeDice — plus the paper's §III
+// response-time channel with the receiver BLINDER-transformed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"timedice/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("blinderbench", flag.ContinueOnError)
+	windows := fs.Int("windows", 2000, "signaled bits per configuration")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	sc := experiments.Scale{TestWindows: *windows, Seed: *seed}
+	if _, err := experiments.Fig18(sc, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "blinderbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Command covertbench regenerates the covert-channel experiments of the
+// paper: Fig. 4 (feasibility), Fig. 12 (mitigation grid), Fig. 13 (heatmaps),
+// Fig. 14 (distributions), Fig. 15 (channel capacity), and the self-driving
+// car scenario of §III-e.
+//
+// Usage:
+//
+//	covertbench -fig 12 -scale quick
+//	covertbench -fig all -scale full      # paper-scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"timedice/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "covertbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("covertbench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "experiment: 4 | 12 | 13 | 14 | 15 | car | ablation | rate | multipair | receivers | detect | all")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick | full")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := experiments.Quick()
+	if strings.EqualFold(*scaleName, "full") {
+		sc = experiments.Full()
+	}
+	sc.Seed = *seed
+
+	type runner struct {
+		name string
+		fn   func() error
+	}
+	w := os.Stdout
+	all := []runner{
+		{"4", func() error { _, err := experiments.Fig04(sc, w); return err }},
+		{"12", func() error { _, err := experiments.Fig12(sc, w); return err }},
+		{"13", func() error { _, err := experiments.Fig13(sc, w); return err }},
+		{"14", func() error { _, err := experiments.Fig14(sc, w); return err }},
+		{"15", func() error { _, err := experiments.Fig15(sc, w); return err }},
+		{"car", func() error { _, err := experiments.CarChannel(sc, w); return err }},
+		{"ablation", func() error { _, err := experiments.Ablation(sc, w); return err }},
+		{"rate", func() error { _, err := experiments.Rate(sc, w); return err }},
+		{"multipair", func() error { _, err := experiments.MultiPairReport(sc, w); return err }},
+		{"receivers", func() error { _, err := experiments.ReceiverZoo(sc, w); return err }},
+		{"detect", func() error { _, err := experiments.Detection(sc, w); return err }},
+	}
+	want := strings.ToLower(*fig)
+	ran := false
+	for _, r := range all {
+		if want != "all" && want != r.name {
+			continue
+		}
+		fmt.Fprintf(w, "==== experiment %s (scale=%s, seed=%d) ====\n", r.name, *scaleName, *seed)
+		if err := r.fn(); err != nil {
+			return fmt.Errorf("experiment %s: %w", r.name, err)
+		}
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *fig)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command figures renders the paper's visual artifacts as PNG files:
+// the Fig. 6 schedule traces (NoRandom vs TimeDice) and the Fig. 4(b)/13
+// execution-vector heatmaps (NoRandom, TimeDiceU, TimeDiceW).
+//
+// Usage:
+//
+//	figures -out ./figures [-windows 120] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"timedice/internal/covert"
+	"timedice/internal/engine"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+	"timedice/internal/trace"
+	"timedice/internal/vtime"
+	"timedice/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	outDir := fs.String("out", "figures", "output directory")
+	windows := fs.Int("windows", 120, "monitoring windows per heatmap")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	// Fig. 6: schedule traces of the 3-partition example.
+	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
+		if err := renderGantt(*outDir, kind, *seed); err != nil {
+			return err
+		}
+	}
+
+	// Figs. 4(b)/13: execution-vector heatmaps under the three policies.
+	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
+		if err := renderHeatmap(*outDir, kind, *windows, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderGantt(outDir string, kind policies.Kind, seed uint64) error {
+	spec := workload.ThreePartition()
+	built, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	pol, err := policies.Build(kind, built.Partitions, policies.Options{})
+	if err != nil {
+		return err
+	}
+	sys, err := engine.New(built.Partitions, pol, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(0, vtime.Time(vtime.MS(200)))
+	sys.TraceFn = rec.Hook()
+	sys.Run(vtime.Time(vtime.MS(200)))
+
+	path := filepath.Join(outDir, fmt.Sprintf("fig06_%s.png", kind))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = rec.GanttPNG(len(spec.Partitions), vtime.FromFloatMS(0.25), 12, f)
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return fmt.Errorf("render %s: %w", path, err)
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func renderHeatmap(outDir string, kind policies.Kind, windows int, seed uint64) error {
+	cfg := covert.Config{
+		Spec:           workload.TableIBase(),
+		Sender:         1,
+		Receiver:       3,
+		ProfileWindows: windows,
+		TestWindows:    16, // heatmaps use the profile phase
+		Policy:         kind,
+		Seed:           seed,
+	}
+	res, err := covert.Run(cfg)
+	if err != nil {
+		return err
+	}
+	var vectors [][]float64
+	var labels []int
+	for _, ob := range res.Profile {
+		vectors = append(vectors, ob.Vector)
+		labels = append(labels, ob.Label)
+	}
+	name := "fig04b_NoRandom.png"
+	if kind != policies.NoRandom {
+		name = fmt.Sprintf("fig13_%s.png", kind)
+	}
+	path := filepath.Join(outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = trace.HeatmapPNG(vectors, labels, 3, f)
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return fmt.Errorf("render %s: %w", path, err)
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

@@ -1,0 +1,47 @@
+// Command overheadbench regenerates the scheduling-overhead evaluation of
+// the paper's §V-B3: Table IV (per-decision latency percentiles), Table V
+// (decisions and switches per second), and Fig. 17 (randomization time per
+// second of schedule) for |Π| ∈ {5, 10, 20}.
+//
+// Absolute latencies are those of this Go implementation on the host CPU,
+// not of the paper's kernel implementation; the growth with |Π| is the
+// reproducible shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"timedice/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("overheadbench", flag.ContinueOnError)
+	secs := fs.Int("secs", 30, "simulated seconds per configuration")
+	seed := fs.Uint64("seed", 1, "random seed")
+	naive := fs.Bool("naive", false, "also run the unprincipled-randomization shortfall comparison")
+	randomness := fs.Bool("entropy", false, "also run the schedule-randomness metrics (slot entropy, exhaustion spread)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	sc := experiments.Scale{SimSeconds: *secs, Seed: *seed}
+	if _, err := experiments.Overhead(sc, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "overheadbench:", err)
+		os.Exit(1)
+	}
+	if *naive {
+		fmt.Println()
+		if _, err := experiments.Naive(sc, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "overheadbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *randomness {
+		fmt.Println()
+		if _, err := experiments.Randomness(sc, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "overheadbench:", err)
+			os.Exit(1)
+		}
+	}
+}

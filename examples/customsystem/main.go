@@ -1,0 +1,112 @@
+// Customsystem shows the full workflow for a user-defined system: declare
+// partitions and tasks (inline or from JSON), verify schedulability under
+// both schedulers offline, then simulate with TimeDice and confirm the
+// guarantees empirically.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"timedice"
+)
+
+// A system an integrator might write: flight management (high priority),
+// communications, and a vendor-supplied maintenance partition that is not
+// trusted (the covert-channel threat of the paper's §III).
+const systemJSON = `{
+  "name": "avionics-demo",
+  "partitions": [
+    {"name": "flight",  "periodMillis": 25,  "budgetMillis": 5,
+     "tasks": [
+       {"name": "guidance", "periodMillis": 50,  "wcetMillis": 3},
+       {"name": "autopilot", "periodMillis": 100, "wcetMillis": 4}
+     ]},
+    {"name": "comms",   "periodMillis": 40,  "budgetMillis": 6, "server": "deferrable",
+     "tasks": [{"name": "radio", "periodMillis": 80, "wcetMillis": 5}]},
+    {"name": "vendor",  "periodMillis": 100, "budgetMillis": 12,
+     "tasks": [{"name": "maintenance", "periodMillis": 200, "wcetMillis": 10}]}
+  ]
+}`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	spec, err := timedice.ReadSystem(strings.NewReader(systemJSON))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system %q: %d partitions, %.0f%% partition utilization\n",
+		spec.Name, len(spec.Partitions), 100*spec.Utilization())
+
+	// 1. Offline: is the partition set schedulable, and do the tasks meet
+	// their deadlines under both schedulers?
+	if !timedice.SystemSchedulable(spec) {
+		return fmt.Errorf("partitions are not schedulable; TimeDice requires a schedulable baseline")
+	}
+	rows, err := timedice.Analyze(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nWorst-case response times (ms):")
+	fmt.Printf("%-14s %9s %9s %9s %7s\n", "task", "deadline", "NoRandom", "TimeDice", "ok")
+	for _, r := range rows {
+		fmt.Printf("%-14s %9.1f %9.1f %9.1f %7v\n", r.Task,
+			r.Deadline.Milliseconds(), r.NoRandom.Milliseconds(), r.TimeDice.Milliseconds(), r.Schedulable())
+	}
+
+	// 2. Online: run 30 simulated seconds under TimeDice and verify no task
+	// ever misses a deadline.
+	sys, built, err := timedice.NewBuiltSystem(spec, timedice.TimeDiceW, 99)
+	if err != nil {
+		return err
+	}
+	misses := map[string]int{}
+	for _, p := range spec.Partitions {
+		deadlines := map[string]timedice.Duration{}
+		for _, t := range p.Tasks {
+			d := t.Deadline
+			if d == 0 {
+				d = t.Period
+			}
+			deadlines[t.Name] = d
+		}
+		built.Sched[p.Name].OnComplete = func(c timedice.TaskCompletion) {
+			if c.Response > deadlines[c.Job.Task.Name] {
+				misses[c.Job.Task.Name]++
+			}
+		}
+	}
+	sys.Run(timedice.Time(30 * timedice.Second))
+	fmt.Printf("\n30 s under TimeDiceW: %d decisions, %d switches, deadline misses: %v (empty = none)\n",
+		sys.Counters.Decisions, sys.Counters.Switches, misses)
+
+	// 3. Threat check: a compromised task in the high-priority flight
+	// partition could leak mission data to the untrusted vendor partition
+	// by modulating its budget consumption (the sender must sit above the
+	// receiver in priority, as in the paper's §III model).
+	channel := func(kind timedice.PolicyKind) (*timedice.ChannelResult, error) {
+		return timedice.RunChannel(timedice.ChannelConfig{
+			Spec: spec, Sender: 0, Receiver: 2,
+			ProfileWindows: 300, TestWindows: 800, Seed: 5,
+			Policy: kind,
+		})
+	}
+	res, err := channel(timedice.NoRandom)
+	if err != nil {
+		return err
+	}
+	resTD, err := channel(timedice.TimeDiceW)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nflight→vendor covert channel: NoRandom %.1f%% (%.2f b/win) → TimeDice %.1f%% (%.2f b/win)\n",
+		100*res.RTAccuracy, res.Capacity, 100*resTD.RTAccuracy, resTD.Capacity)
+	return nil
+}

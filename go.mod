@@ -1,0 +1,3 @@
+module timedice
+
+go 1.22

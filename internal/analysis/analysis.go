@@ -1,0 +1,251 @@
+// Package analysis implements the offline schedulability and worst-case
+// response time (WCRT) analyses of the paper's §IV-B:
+//
+//   - partition-level schedulability under fixed-priority global scheduling
+//     (a level-i busy-interval test), which is the precondition TimeDice
+//     preserves by construction;
+//   - task-level WCRT under the non-randomized scheduler, following the
+//     hierarchical fixed-priority analysis of Davis & Burns [33] that the
+//     paper uses for the NoRandom columns of Table II; and
+//   - task-level WCRT under TimeDice, Eqs. (4)–(5): the randomized partition
+//     schedule can defer each budget chunk to the very end of its period
+//     (Fig. 11), so the task load L is served at a worst-case rate of B_i per
+//     T_i with a leading (T_i − B_i) delay.
+//
+// All arithmetic is exact integer microseconds; the analyses reproduce the
+// paper's Table II "Anal." columns bit-for-bit (see the golden tests).
+package analysis
+
+import (
+	"fmt"
+
+	"timedice/internal/model"
+	"timedice/internal/vtime"
+)
+
+// maxIterations bounds the fixed-point searches; real configurations converge
+// in a handful of steps, and divergence (overload) is reported as
+// unschedulable long before this bound.
+const maxIterations = 1 << 16
+
+// Unschedulable is returned as the WCRT when a fixed point exceeds the
+// deadline bound.
+const Unschedulable vtime.Duration = vtime.Forever
+
+// PartitionSchedulable reports whether partition index pi of spec is
+// guaranteed its full budget every period under fixed-priority global
+// scheduling: the level-i busy interval w = B_i + Σ_{h<i} ⌈w/T_h⌉·B_h must
+// not exceed T_i.
+func PartitionSchedulable(spec model.SystemSpec, pi int) bool {
+	w := partitionBusyInterval(spec, pi)
+	return w != Unschedulable && w <= spec.Partitions[pi].Period
+}
+
+// partitionBusyInterval returns the worst-case time for partition pi to
+// receive its full budget from a critical instant, or Unschedulable.
+func partitionBusyInterval(spec model.SystemSpec, pi int) vtime.Duration {
+	p := spec.Partitions[pi]
+	bound := p.Period * 2
+	w := p.Budget
+	for iter := 0; iter < maxIterations; iter++ {
+		next := p.Budget
+		for h := 0; h < pi; h++ {
+			hp := spec.Partitions[h]
+			next += vtime.Duration(vtime.CeilDiv(w, hp.Period)) * hp.Budget
+		}
+		if next == w {
+			return w
+		}
+		if next > bound {
+			return Unschedulable
+		}
+		w = next
+	}
+	return Unschedulable
+}
+
+// SystemSchedulable reports whether every partition of spec is schedulable
+// (Definition 1 for all i).
+func SystemSchedulable(spec model.SystemSpec) bool {
+	for i := range spec.Partitions {
+		if !PartitionSchedulable(spec, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// taskLoad is the paper's L_{i,j}(window): the worst-case demand of task tj
+// and its local higher-priority tasks over a window (Eq. 5's summation with
+// the window supplied by the caller).
+func taskLoad(p model.PartitionSpec, tj int, window vtime.Duration) vtime.Duration {
+	load := p.Tasks[tj].WCET
+	for x := 0; x < tj; x++ {
+		hp := p.Tasks[x]
+		load += vtime.Duration(vtime.CeilDiv(window, hp.Period)) * hp.WCET
+	}
+	return load
+}
+
+// WCRTTimeDice computes the worst-case response time of task tj in partition
+// pi when partitions are randomized by TimeDice, per Eqs. (4)–(5):
+//
+//	r^{k+1} = L_{i,j}(r^k) + ⌈L_{i,j}(r^k)/B_i⌉·(T_i − B_i),
+//	wcrt    = (T_i − B_i) + r^k at the fixed point,
+//
+// with L evaluated over the window (T_i − B_i) + r^k. It returns
+// Unschedulable if the iteration exceeds the task's deadline-based bound.
+// Thanks to the schedulability preservation, the analysis depends only on
+// the parameters of partition pi (the modularity the paper highlights).
+func WCRTTimeDice(spec model.SystemSpec, pi, tj int) vtime.Duration {
+	p := spec.Partitions[pi]
+	t := p.Tasks[tj]
+	gap := p.Period - p.Budget
+	bound := taskBound(t)
+
+	r := t.WCET
+	for iter := 0; iter < maxIterations; iter++ {
+		load := taskLoad(p, tj, gap+r)
+		next := load + vtime.Duration(vtime.CeilDiv(load, p.Budget))*gap
+		if next == r {
+			return gap + r
+		}
+		if gap+next > bound {
+			return Unschedulable
+		}
+		r = next
+	}
+	return Unschedulable
+}
+
+// WCRTNoRandom computes the worst-case response time of task tj in partition
+// pi under the default fixed-priority hierarchical scheduler, following
+// Davis & Burns [33]. At the critical instant the task arrives together with
+// its local higher-priority tasks just as the partition's budget has been
+// depleted as early as possible, so it first waits (T_i − B_i); the load L is
+// then served at B_i per T_i, and the completion of the final chunk within
+// its period is delayed by the higher-priority partitions' budgets:
+//
+//	L    = L_{i,j}(R)                      (demand over the response window)
+//	k    = ⌈L/B_i⌉                         (replenishments needed)
+//	v    = (L − (k−1)B_i) + Σ_{h<i} ⌈v/T_h⌉·B_h   (final-chunk completion)
+//	R'   = (T_i − B_i) + (k−1)·T_i + v.
+func WCRTNoRandom(spec model.SystemSpec, pi, tj int) vtime.Duration {
+	return wcrtNoRandom(spec, pi, tj, false)
+}
+
+// WCRTNoRandomDeferrable is WCRTNoRandom with the higher-priority partitions
+// modeled as deferrable servers: retained budget allows a back-to-back
+// double hit at period boundaries, so each Π_h contributes one extra B_h of
+// interference to the final chunk. The bound is conservative (it is the
+// standard sufficient test) and always ≥ WCRTNoRandom.
+func WCRTNoRandomDeferrable(spec model.SystemSpec, pi, tj int) vtime.Duration {
+	return wcrtNoRandom(spec, pi, tj, true)
+}
+
+func wcrtNoRandom(spec model.SystemSpec, pi, tj int, deferrable bool) vtime.Duration {
+	p := spec.Partitions[pi]
+	t := p.Tasks[tj]
+	gap := p.Period - p.Budget
+	bound := taskBound(t)
+
+	r := t.WCET
+	for iter := 0; iter < maxIterations; iter++ {
+		load := taskLoad(p, tj, r)
+		k := vtime.CeilDiv(load, p.Budget)
+		rem := load - vtime.Duration(k-1)*p.Budget
+		v := finalChunk(spec, pi, rem, bound, deferrable)
+		if v == Unschedulable {
+			return Unschedulable
+		}
+		next := gap + vtime.Duration(k-1)*p.Period + v
+		if next == r {
+			return next
+		}
+		if next > bound {
+			return Unschedulable
+		}
+		r = next
+	}
+	return Unschedulable
+}
+
+// finalChunk solves v = rem + Σ_{h<pi} I_h(v), the response of the last
+// budget chunk within its replenishment period under higher-priority
+// partition interference. With deferrable=false the interference is the
+// periodic-supply bound ⌈v/T_h⌉·B_h; with deferrable=true it adds the
+// deferrable server's back-to-back hit (a server may run B_h at the end of
+// one period and again immediately at the start of the next), the classical
+// (1+⌈v/T_h⌉)·B_h bound.
+func finalChunk(spec model.SystemSpec, pi int, rem, bound vtime.Duration, deferrable bool) vtime.Duration {
+	v := rem
+	for iter := 0; iter < maxIterations; iter++ {
+		next := rem
+		for h := 0; h < pi; h++ {
+			hp := spec.Partitions[h]
+			hits := vtime.CeilDiv(v, hp.Period)
+			if deferrable {
+				hits++
+			}
+			next += vtime.Duration(hits) * hp.Budget
+		}
+		if next == v {
+			return v
+		}
+		if next > bound {
+			return Unschedulable
+		}
+		v = next
+	}
+	return Unschedulable
+}
+
+// taskBound returns the divergence bound for a task's WCRT search: several
+// deadlines' worth of time, beyond which we declare the task unschedulable.
+func taskBound(t model.TaskSpec) vtime.Duration {
+	d := t.Deadline
+	if d == 0 {
+		d = t.Period
+	}
+	return 4 * d
+}
+
+// TaskResult pairs a task with its analytic WCRTs under both schedulers.
+type TaskResult struct {
+	Partition, Task    string
+	Deadline           vtime.Duration
+	NoRandom, TimeDice vtime.Duration
+}
+
+// Schedulable reports whether both WCRTs meet the deadline.
+func (r TaskResult) Schedulable() bool {
+	return r.NoRandom <= r.Deadline && r.TimeDice <= r.Deadline
+}
+
+// AnalyzeSystem computes both WCRTs for every task of the system, in
+// declaration order (the rows of Table II).
+func AnalyzeSystem(spec model.SystemSpec) ([]TaskResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !SystemSchedulable(spec) {
+		return nil, fmt.Errorf("analysis: system %q is not partition-schedulable; TimeDice preconditions unmet", spec.Name)
+	}
+	var out []TaskResult
+	for pi, p := range spec.Partitions {
+		for tj, t := range p.Tasks {
+			d := t.Deadline
+			if d == 0 {
+				d = t.Period
+			}
+			out = append(out, TaskResult{
+				Partition: p.Name,
+				Task:      t.Name,
+				Deadline:  d,
+				NoRandom:  WCRTNoRandom(spec, pi, tj),
+				TimeDice:  WCRTTimeDice(spec, pi, tj),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+
+	"timedice/internal/model"
+	"timedice/internal/vtime"
+)
+
+// AssignPriorities finds a priority ordering of the partitions under which
+// every partition passes the level-i busy-interval schedulability test, using
+// Audsley's Optimal Priority Assignment: repeatedly find some partition that
+// is schedulable at the lowest remaining priority level (its test depends
+// only on WHICH partitions are above it, not their relative order), assign
+// it there, and recurse on the rest. OPA is exact for this test: if it fails,
+// no ordering works.
+//
+// It returns the partition indices of the input spec in decreasing priority
+// order (result[0] = highest). The input is not modified.
+func AssignPriorities(spec model.SystemSpec) ([]int, error) {
+	n := len(spec.Partitions)
+	if n == 0 {
+		return nil, fmt.Errorf("analysis: empty system")
+	}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	order := make([]int, n)
+	for level := n - 1; level >= 0; level-- {
+		placed := -1
+		for pos, cand := range remaining {
+			if schedulableAtLowest(spec, cand, remaining, pos) {
+				placed = pos
+				break
+			}
+		}
+		if placed < 0 {
+			return nil, fmt.Errorf("analysis: no priority ordering makes all partitions schedulable (level %d)", level)
+		}
+		order[level] = remaining[placed]
+		remaining = append(remaining[:placed], remaining[placed+1:]...)
+	}
+	return order, nil
+}
+
+// schedulableAtLowest tests whether partition cand meets its deadline when
+// every other partition in remaining (all but position pos) is above it.
+func schedulableAtLowest(spec model.SystemSpec, cand int, remaining []int, pos int) bool {
+	p := spec.Partitions[cand]
+	bound := 2 * p.Period
+	w := p.Budget
+	for iter := 0; iter < maxIterations; iter++ {
+		next := p.Budget
+		for i, hp := range remaining {
+			if i == pos {
+				continue
+			}
+			h := spec.Partitions[hp]
+			next += vtime.Duration(vtime.CeilDiv(w, h.Period)) * h.Budget
+		}
+		if next == w {
+			return w <= p.Period
+		}
+		if next > bound {
+			return false
+		}
+		w = next
+	}
+	return false
+}
+
+// Reorder returns a copy of spec with partitions permuted into the given
+// decreasing-priority order (as produced by AssignPriorities).
+func Reorder(spec model.SystemSpec, order []int) (model.SystemSpec, error) {
+	if len(order) != len(spec.Partitions) {
+		return model.SystemSpec{}, fmt.Errorf("analysis: order covers %d of %d partitions", len(order), len(spec.Partitions))
+	}
+	seen := make([]bool, len(order))
+	out := spec
+	out.Partitions = make([]model.PartitionSpec, len(order))
+	for pos, idx := range order {
+		if idx < 0 || idx >= len(order) || seen[idx] {
+			return model.SystemSpec{}, fmt.Errorf("analysis: invalid permutation")
+		}
+		seen[idx] = true
+		out.Partitions[pos] = spec.Partitions[idx]
+	}
+	return out, nil
+}

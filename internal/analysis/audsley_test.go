@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"testing"
+
+	"timedice/internal/model"
+	"timedice/internal/rng"
+	"timedice/internal/vtime"
+	"timedice/internal/workload"
+)
+
+func TestAssignPrioritiesTableI(t *testing.T) {
+	spec := workload.TableIBase()
+	order, err := AssignPriorities(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Reorder(spec, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SystemSchedulable(re) {
+		t.Fatal("OPA ordering is not schedulable")
+	}
+}
+
+func TestAssignPrioritiesRescuesBadOrdering(t *testing.T) {
+	// Reverse rate-monotonic order: the long-period heavy partition on top
+	// makes the short-period one unschedulable; OPA must find the fix.
+	spec := model.SystemSpec{
+		Name: "reversed",
+		Partitions: []model.PartitionSpec{
+			{Name: "slow", Budget: vtime.MS(40), Period: vtime.MS(100),
+				Tasks: []model.TaskSpec{{Name: "s", Period: vtime.MS(100), WCET: vtime.MS(40)}}},
+			{Name: "fast", Budget: vtime.MS(5), Period: vtime.MS(10),
+				Tasks: []model.TaskSpec{{Name: "f", Period: vtime.MS(10), WCET: vtime.MS(5)}}},
+		},
+	}
+	if SystemSchedulable(spec) {
+		t.Fatal("precondition: reversed ordering should be unschedulable")
+	}
+	order, err := AssignPriorities(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Reorder(spec, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SystemSchedulable(re) {
+		t.Fatal("OPA result not schedulable")
+	}
+	if re.Partitions[0].Name != "fast" {
+		t.Errorf("expected the fast partition on top, got %q", re.Partitions[0].Name)
+	}
+}
+
+func TestAssignPrioritiesInfeasible(t *testing.T) {
+	spec := model.SystemSpec{
+		Name: "overload",
+		Partitions: []model.PartitionSpec{
+			{Name: "a", Budget: vtime.MS(8), Period: vtime.MS(10),
+				Tasks: []model.TaskSpec{{Name: "x", Period: vtime.MS(10), WCET: vtime.MS(1)}}},
+			{Name: "b", Budget: vtime.MS(8), Period: vtime.MS(10),
+				Tasks: []model.TaskSpec{{Name: "y", Period: vtime.MS(10), WCET: vtime.MS(1)}}},
+		},
+	}
+	if _, err := AssignPriorities(spec); err == nil {
+		t.Error("infeasible system got an ordering")
+	}
+}
+
+// TestOPAAgreesWithExhaustive cross-checks OPA against brute force on random
+// 4-partition systems: OPA finds an ordering iff some permutation is
+// schedulable.
+func TestOPAAgreesWithExhaustive(t *testing.T) {
+	r := rng.New(99)
+	opts := workload.DefaultRandomOptions()
+	opts.Partitions = 4
+	opts.TotalUtil = 0.95 // stress: some systems infeasible in some orders
+	agree := 0
+	for trial := 0; trial < 40; trial++ {
+		spec := workload.Random(r, opts)
+		_, opaErr := AssignPriorities(spec)
+		brute := false
+		perms := permutations(len(spec.Partitions))
+		for _, perm := range perms {
+			re, err := Reorder(spec, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if SystemSchedulable(re) {
+				brute = true
+				break
+			}
+		}
+		if (opaErr == nil) != brute {
+			t.Fatalf("trial %d: OPA=%v brute=%v (spec %+v)", trial, opaErr == nil, brute, spec)
+		}
+		agree++
+	}
+	if agree == 0 {
+		t.Fatal("no trials")
+	}
+}
+
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			cp := make([]int, n)
+			copy(cp, perm)
+			out = append(out, cp)
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func TestReorderValidation(t *testing.T) {
+	spec := workload.ThreePartition()
+	if _, err := Reorder(spec, []int{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := Reorder(spec, []int{0, 0, 1}); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	if _, err := Reorder(spec, []int{0, 1, 5}); err == nil {
+		t.Error("out-of-range order accepted")
+	}
+}

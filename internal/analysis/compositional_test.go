@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"testing"
+
+	"timedice/internal/model"
+	"timedice/internal/rng"
+	"timedice/internal/vtime"
+	"timedice/internal/workload"
+)
+
+func TestSupplyBoundShape(t *testing.T) {
+	B, T := vtime.MS(2), vtime.MS(10)
+	cases := []struct {
+		t    vtime.Duration
+		want vtime.Duration
+	}{
+		{0, 0},
+		{vtime.MS(16), 0},           // inside the initial 2(T−B) blackout
+		{vtime.MS(17), vtime.MS(1)}, // 1ms past the blackout
+		{vtime.MS(18), vtime.MS(2)}, // blackout + full budget
+		{vtime.MS(26), vtime.MS(2)}, // second gap
+		{vtime.MS(28), vtime.MS(4)},
+		{vtime.MS(36), vtime.MS(4)},
+		{vtime.MS(38), vtime.MS(6)},
+	}
+	for _, c := range cases {
+		if got := SupplyBound(B, T, c.t); got != c.want {
+			t.Errorf("sbf(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSupplyBoundMonotone(t *testing.T) {
+	B, T := vtime.MS(3), vtime.MS(13)
+	prev := vtime.Duration(0)
+	for x := vtime.Duration(0); x <= vtime.MS(100); x += vtime.FromFloatMS(0.25) {
+		got := SupplyBound(B, T, x)
+		if got < prev {
+			t.Fatalf("sbf not monotone at %v: %v < %v", x, got, prev)
+		}
+		// Never exceeds the fluid bound.
+		if float64(got) > float64(x)*float64(B)/float64(T)+float64(B) {
+			t.Fatalf("sbf(%v)=%v exceeds fluid bound", x, got)
+		}
+		prev = got
+	}
+}
+
+func TestDemandBound(t *testing.T) {
+	p := model.PartitionSpec{
+		Name: "P", Budget: vtime.MS(5), Period: vtime.MS(10),
+		Tasks: []model.TaskSpec{
+			{Name: "a", Period: vtime.MS(20), WCET: vtime.MS(2)},
+			{Name: "b", Period: vtime.MS(50), WCET: vtime.MS(4)},
+		},
+	}
+	if got := DemandBound(p, 0, vtime.MS(20)); got != vtime.MS(2) {
+		t.Errorf("rbf for task 0 over 20ms = %v", got)
+	}
+	if got := DemandBound(p, 1, vtime.MS(40)); got != vtime.MS(8) { // 2·2 + 1·4
+		t.Errorf("rbf for task 1 over 40ms = %v", got)
+	}
+}
+
+// TestCompositionalImpliesTimeDiceWCRT is the cross-validation property: the
+// sbf of the periodic resource model is exactly the TimeDice worst-case
+// supply, so the compositional test passing must imply the WCRT analysis
+// finds the task schedulable, on Table I and on random systems.
+func TestCompositionalImpliesTimeDiceWCRT(t *testing.T) {
+	specs := []model.SystemSpec{workload.TableIBase(), workload.TableILight(), workload.ThreePartition(), workload.Car()}
+	r := rng.New(9)
+	for i := 0; i < 30; i++ {
+		specs = append(specs, workload.Random(r, workload.DefaultRandomOptions()))
+	}
+	checkedPass := 0
+	for _, spec := range specs {
+		for pi, p := range spec.Partitions {
+			for tj, ts := range p.Tasks {
+				deadline := ts.Deadline
+				if deadline == 0 {
+					deadline = ts.Period
+				}
+				if CompositionalSchedulable(spec, pi, tj) {
+					checkedPass++
+					if wcrt := WCRTTimeDice(spec, pi, tj); wcrt > deadline {
+						t.Errorf("%s/%s: compositional test passes but TimeDice WCRT %v > deadline %v",
+							spec.Name, ts.Name, wcrt, deadline)
+					}
+				}
+			}
+		}
+	}
+	if checkedPass < 30 {
+		t.Fatalf("only %d tasks passed the compositional test; cross-check too weak", checkedPass)
+	}
+}
+
+func TestCompositionalTableI(t *testing.T) {
+	// Every Table I task is schedulable under the compositional test too
+	// (consistent with Table II's all-schedulable verdict).
+	spec := workload.TableIBase()
+	for pi, p := range spec.Partitions {
+		for tj, ts := range p.Tasks {
+			if !CompositionalSchedulable(spec, pi, tj) {
+				t.Errorf("%s not compositionally schedulable", ts.Name)
+			}
+			_ = pi
+		}
+	}
+}
+
+func TestCompositionalRejectsOverload(t *testing.T) {
+	spec := model.SystemSpec{
+		Name: "tight",
+		Partitions: []model.PartitionSpec{{
+			Name: "P", Budget: vtime.MS(1), Period: vtime.MS(10),
+			Tasks: []model.TaskSpec{{Name: "t", Period: vtime.MS(10), WCET: vtime.MS(2)}},
+		}},
+	}
+	// Demand 2ms per 10ms against supply 1ms per 10ms: impossible.
+	if CompositionalSchedulable(spec, 0, 0) {
+		t.Error("overloaded task accepted")
+	}
+}

@@ -1,0 +1,67 @@
+// Package blinder implements the comparison baseline of the paper's §V-C:
+// BLINDER (Yoon et al., USENIX Security 2021), a partition-oblivious
+// local-schedule transformation, together with the task-order covert channel
+// of Fig. 18 that BLINDER was designed to defeat.
+//
+// BLINDER's idea is to make each partition's local schedule a deterministic
+// function of the partition's own progress, independent of when the global
+// scheduler supplies budget. We reproduce its defensive property with a
+// lag-based release transform: every local job release is deferred to the
+// partition's next budget-replenishment boundary, so the set of ready jobs
+// the local scheduler sees in any budget window depends only on the window
+// index — never on how a higher-priority partition stretched or compressed
+// the supply within the window. This closes the task-order channel while, by
+// construction, leaving physical-time observations fully intact — which is
+// exactly the limitation the paper demonstrates (§V-C: BLINDER "cannot defend
+// against the covert channel presented in this paper").
+package blinder
+
+import (
+	"fmt"
+
+	"timedice/internal/model"
+	"timedice/internal/vtime"
+)
+
+// Transform applies the BLINDER release transform to the named partition of
+// an already-built system: each local task's job releases are quantized to
+// the partition's replenishment boundaries (period T). The task's nominal
+// sporadic arrival times are preserved as lower bounds; only visibility to
+// the local scheduler is deferred.
+func Transform(built *model.Built, spec model.SystemSpec, partitionName string) error {
+	var ps *model.PartitionSpec
+	for i := range spec.Partitions {
+		if spec.Partitions[i].Name == partitionName {
+			ps = &spec.Partitions[i]
+			break
+		}
+	}
+	if ps == nil {
+		return fmt.Errorf("blinder: partition %q not in spec", partitionName)
+	}
+	T := ps.Period
+	for _, ts := range ps.Tasks {
+		tk, ok := built.Task[model.TaskKey(partitionName, ts.Name)]
+		if !ok {
+			return fmt.Errorf("blinder: task %q not built", ts.Name)
+		}
+		nominalPeriod := ts.Period
+		nominalOffset := ts.Offset
+		// Quantize the k-th nominal arrival (offset + k·p) up to the next
+		// replenishment boundary.
+		release := func(k int64) vtime.Time {
+			nominal := vtime.Time(0).Add(nominalOffset).Add(vtime.Duration(k) * nominalPeriod)
+			q := vtime.CeilDiv(vtime.Duration(nominal), T)
+			return vtime.Time(q * int64(T))
+		}
+		tk.Offset = vtime.Duration(release(0))
+		tk.PeriodFn = func(k int64, _ vtime.Time) vtime.Duration {
+			gap := release(k + 1).Sub(release(k))
+			if gap < vtime.Microsecond {
+				gap = vtime.Microsecond
+			}
+			return gap
+		}
+	}
+	return nil
+}

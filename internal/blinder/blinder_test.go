@@ -1,0 +1,115 @@
+package blinder
+
+import (
+	"testing"
+
+	"timedice/internal/model"
+	"timedice/internal/policies"
+	"timedice/internal/vtime"
+)
+
+func TestOrderChannelNoDefense(t *testing.T) {
+	// Fig. 18(a)/(b): under the plain fixed-priority scheduler the order
+	// channel decodes near-perfectly, and so does the physical-time channel.
+	res, err := RunOrderChannel(OrderChannelConfig{Windows: 600, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrderAccuracy < 0.95 {
+		t.Errorf("order-channel accuracy %.3f, want >= 0.95 under NoRandom", res.OrderAccuracy)
+	}
+	if res.ResponseAccuracy < 0.95 {
+		t.Errorf("response-channel accuracy %.3f, want >= 0.95 under NoRandom", res.ResponseAccuracy)
+	}
+}
+
+func TestBlinderClosesOrderChannelButNotTimeChannel(t *testing.T) {
+	// §V-C: BLINDER defeats the order channel (its design goal) but cannot
+	// defend the physical-time response channel.
+	res, err := RunOrderChannel(OrderChannelConfig{Windows: 600, Seed: 5, Blinder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrderAccuracy > 0.62 {
+		t.Errorf("order-channel accuracy %.3f under BLINDER, want ≈0.5", res.OrderAccuracy)
+	}
+	if res.ResponseAccuracy < 0.90 {
+		t.Errorf("response-channel accuracy %.3f under BLINDER, want still high (BLINDER cannot close it)", res.ResponseAccuracy)
+	}
+}
+
+func TestTimeDiceDegradesOrderChannel(t *testing.T) {
+	// Fig. 18(d): TimeDice splits long preemptions randomly, so the order
+	// decoder degrades substantially from its ~1.0 baseline.
+	res, err := RunOrderChannel(OrderChannelConfig{Windows: 1200, Seed: 5, Policy: policies.TimeDiceW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrderAccuracy > 0.85 {
+		t.Errorf("order-channel accuracy %.3f under TimeDice, want substantially degraded", res.OrderAccuracy)
+	}
+	if res.ResponseAccuracy > 0.85 {
+		t.Errorf("response-channel accuracy %.3f under TimeDice, want substantially degraded", res.ResponseAccuracy)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, err := RunOrderChannel(OrderChannelConfig{ShortLen: vtime.MS(5), Delta: vtime.MS(3)})
+	if err == nil {
+		t.Error("ShortLen >= Delta must be rejected")
+	}
+	_, err = RunOrderChannel(OrderChannelConfig{LongLen: vtime.MS(2), Delta: vtime.MS(3)})
+	if err == nil {
+		t.Error("LongLen <= Delta must be rejected")
+	}
+}
+
+func TestTransformQuantizesReleases(t *testing.T) {
+	spec := model.SystemSpec{
+		Name: "q",
+		Partitions: []model.PartitionSpec{{
+			Name: "P", Budget: vtime.MS(5), Period: vtime.MS(10),
+			Tasks: []model.TaskSpec{{Name: "t", Period: vtime.MS(25), WCET: vtime.MS(1), Offset: vtime.MS(3)}},
+		}},
+	}
+	built, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Transform(built, spec, "P"); err != nil {
+		t.Fatal(err)
+	}
+	tk := built.Task[model.TaskKey("P", "t")]
+	// Nominal arrivals 3, 28, 53, 78 → quantized releases 10, 30, 60, 80.
+	if tk.Offset != vtime.MS(10) {
+		t.Errorf("first release %v, want 10ms", tk.Offset)
+	}
+	gaps := []vtime.Duration{
+		tk.PeriodFn(0, 0),
+		tk.PeriodFn(1, 0),
+		tk.PeriodFn(2, 0),
+	}
+	want := []vtime.Duration{vtime.MS(20), vtime.MS(30), vtime.MS(20)}
+	for i, w := range want {
+		if gaps[i] != w {
+			t.Errorf("gap %d = %v, want %v", i, gaps[i], w)
+		}
+	}
+}
+
+func TestTransformUnknownPartition(t *testing.T) {
+	spec := model.SystemSpec{
+		Name: "q",
+		Partitions: []model.PartitionSpec{{
+			Name: "P", Budget: vtime.MS(5), Period: vtime.MS(10),
+			Tasks: []model.TaskSpec{{Name: "t", Period: vtime.MS(20), WCET: vtime.MS(1)}},
+		}},
+	}
+	built, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Transform(built, spec, "missing"); err == nil {
+		t.Error("unknown partition accepted")
+	}
+}

@@ -1,0 +1,226 @@
+package blinder
+
+import (
+	"fmt"
+
+	"timedice/internal/engine"
+	"timedice/internal/model"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+	"timedice/internal/server"
+	"timedice/internal/task"
+	"timedice/internal/vtime"
+)
+
+// OrderChannelConfig parameterizes the Fig. 18 covert channel: the sender
+// τ_S,1 varies its execution length; the receiver partition hosts two local
+// tasks τ_R,1 (higher local priority, released at an offset δ) and τ_R,2
+// (lower priority, released at the window start). The receiver decodes the
+// sender's bit from the ORDER in which its two tasks complete — an
+// observation that requires no clock at all, which is why BLINDER's
+// clock-free threat model targets it.
+type OrderChannelConfig struct {
+	// Period is the common partition period / signaling window (default 20 ms).
+	Period vtime.Duration
+	// Budget is each partition's budget (default 0.3·Period).
+	Budget vtime.Duration
+	// Delta is τ_R,1's release offset within the window (default Budget/2).
+	Delta vtime.Duration
+	// ShortLen and LongLen are the sender's execution lengths for X=0 and
+	// X=1 (defaults Delta/3 and Budget).
+	ShortLen, LongLen vtime.Duration
+
+	// Windows is the number of signaled bits (default 2000).
+	Windows int
+	// Defense selects the receiver-side / system-side mitigation.
+	Policy policies.Kind
+	// Blinder applies the BLINDER transform to the receiver partition.
+	Blinder bool
+
+	Seed uint64
+}
+
+func (c *OrderChannelConfig) fill() {
+	if c.Period <= 0 {
+		c.Period = vtime.MS(20)
+	}
+	if c.Budget <= 0 {
+		c.Budget = c.Period * 3 / 10
+	}
+	if c.Delta <= 0 {
+		c.Delta = c.Budget / 2
+	}
+	if c.ShortLen <= 0 {
+		c.ShortLen = c.Delta / 3
+	}
+	if c.LongLen <= 0 {
+		c.LongLen = c.Budget
+	}
+	if c.Windows <= 0 {
+		c.Windows = 2000
+	}
+	if c.Policy == 0 {
+		c.Policy = policies.NoRandom
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// OrderChannelResult reports both decoders' accuracies over the run.
+type OrderChannelResult struct {
+	// OrderAccuracy is the clock-free task-order decoder's accuracy
+	// (bit = 1 iff τ_R,1 of window k completed before τ_R,2 of window k).
+	OrderAccuracy float64
+	// ResponseAccuracy is the physical-time decoder's accuracy on τ_R,2's
+	// response time (threshold at the midpoint of the profiled means),
+	// the channel BLINDER cannot close.
+	ResponseAccuracy float64
+	Windows          int
+}
+
+// RunOrderChannel simulates the Fig. 18 scenario and decodes with both
+// receivers.
+func RunOrderChannel(cfg OrderChannelConfig) (*OrderChannelResult, error) {
+	cfg.fill()
+	if cfg.ShortLen >= cfg.Delta {
+		return nil, fmt.Errorf("blinder: ShortLen %v must be below Delta %v", cfg.ShortLen, cfg.Delta)
+	}
+	if cfg.LongLen <= cfg.Delta {
+		return nil, fmt.Errorf("blinder: LongLen %v must exceed Delta %v", cfg.LongLen, cfg.Delta)
+	}
+
+	r2exec := cfg.Delta / 2            // finishes before Delta when undisturbed
+	r1exec := (cfg.Delta / 4).Max(100) // short high-priority probe
+
+	spec := model.SystemSpec{
+		Name: "fig18",
+		Partitions: []model.PartitionSpec{
+			{
+				Name: "S", Budget: cfg.Budget, Period: cfg.Period, Server: server.Deferrable,
+				Tasks: []model.TaskSpec{{Name: "s1", Period: cfg.Period, WCET: cfg.LongLen}},
+			},
+			{
+				Name: "R", Budget: cfg.Budget, Period: cfg.Period, Server: server.Deferrable,
+				Tasks: []model.TaskSpec{
+					{Name: "r1", Period: cfg.Period, WCET: r1exec, Offset: cfg.Delta, Deadline: 4 * cfg.Period},
+					{Name: "r2", Period: cfg.Period, WCET: r2exec, Deadline: 4 * cfg.Period},
+				},
+			},
+		},
+	}
+
+	root := rng.New(cfg.Seed)
+	bits := make([]int, cfg.Windows+4)
+	for i := range bits {
+		bits[i] = root.Bit()
+	}
+
+	built, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	sender := built.Task[model.TaskKey("S", "s1")]
+	sender.ExecFn = func(_ int64, arrival vtime.Time) vtime.Duration {
+		w := int(arrival / vtime.Time(cfg.Period))
+		if w >= len(bits) {
+			w = len(bits) - 1
+		}
+		if bits[w] == 1 {
+			return cfg.LongLen
+		}
+		return cfg.ShortLen
+	}
+
+	if cfg.Blinder {
+		if err := Transform(built, spec, "R"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Record per-job completion instants of both receiver tasks.
+	finishR1 := make(map[int64]vtime.Time)
+	finishR2 := make(map[int64]vtime.Time)
+	respR2 := make(map[int64]vtime.Duration)
+	built.Sched["R"].OnComplete = func(c task.Completion) {
+		switch c.Job.Task.Name {
+		case "r1":
+			finishR1[c.Job.Index] = c.Finish
+		case "r2":
+			finishR2[c.Job.Index] = c.Finish
+			respR2[c.Job.Index] = c.Response
+		}
+	}
+
+	pol, err := policies.Build(cfg.Policy, built.Partitions, policies.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := engine.New(built.Partitions, pol, root.Split())
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(vtime.Time(vtime.Duration(cfg.Windows+4) * cfg.Period))
+
+	res := &OrderChannelResult{}
+	// Profile the response-time decoder threshold on the first half, score
+	// on the second half.
+	half := cfg.Windows / 2
+	var sum0, sum1 float64
+	var n0, n1 int
+	for k := 0; k < half; k++ {
+		r, ok := respR2[int64(k)]
+		if !ok {
+			continue
+		}
+		if bits[k] == 0 {
+			sum0 += r.Milliseconds()
+			n0++
+		} else {
+			sum1 += r.Milliseconds()
+			n1++
+		}
+	}
+	var threshold float64
+	inverted := false
+	if n0 > 0 && n1 > 0 {
+		m0, m1 := sum0/float64(n0), sum1/float64(n1)
+		threshold = (m0 + m1) / 2
+		inverted = m1 < m0
+	}
+
+	orderOK, respOK, total := 0, 0, 0
+	for k := half; k < cfg.Windows; k++ {
+		f1, ok1 := finishR1[int64(k)]
+		f2, ok2 := finishR2[int64(k)]
+		r, okR := respR2[int64(k)]
+		if !ok1 || !ok2 || !okR {
+			continue
+		}
+		total++
+		orderBit := 0
+		if f1.Before(f2) {
+			orderBit = 1
+		}
+		if orderBit == bits[k] {
+			orderOK++
+		}
+		respBit := 0
+		if r.Milliseconds() > threshold {
+			respBit = 1
+		}
+		if inverted {
+			respBit = 1 - respBit
+		}
+		if respBit == bits[k] {
+			respOK++
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("blinder: no complete observations")
+	}
+	res.Windows = total
+	res.OrderAccuracy = float64(orderOK) / float64(total)
+	res.ResponseAccuracy = float64(respOK) / float64(total)
+	return res, nil
+}

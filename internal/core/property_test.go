@@ -1,0 +1,220 @@
+package core_test
+
+import (
+	"testing"
+
+	"timedice/internal/core"
+	"timedice/internal/rng"
+	"timedice/internal/vtime"
+)
+
+// randomStates generates a priority-ordered vector of plausible partition
+// states at a decision instant `now`: each partition has T ∈ [10,100] ms,
+// B ≤ T·u with Σu bounded, remaining ∈ [0,B], and a next replenishment in
+// (now, now+T].
+func randomStates(r *rng.Rand, n int, now vtime.Time) []core.PartitionState {
+	states := make([]core.PartitionState, n)
+	for i := range states {
+		T := vtime.MS(10 + r.Int63n(91))
+		B := vtime.Duration(1 + r.Int63n(int64(T)/4)) // ≤ 25% each
+		rem := vtime.Duration(r.Int63n(int64(B) + 1))
+		// Next replenishment strictly in the future, at most T away.
+		next := now.Add(vtime.Duration(1 + r.Int63n(int64(T))))
+		active := rem > 0
+		states[i] = core.PartitionState{
+			Budget:        B,
+			Period:        T,
+			Remaining:     rem,
+			NextReplenish: next,
+			Active:        active,
+			Runnable:      active && r.Bool(0.7),
+		}
+	}
+	return states
+}
+
+// TestPropertySchedulabilityMonotoneInW: if a partition passes the test for
+// inversion length w, it passes for any shorter inversion.
+func TestPropertySchedulabilityMonotoneInW(t *testing.T) {
+	r := rng.New(501)
+	now := vtime.Time(vtime.MS(1000))
+	for trial := 0; trial < 2000; trial++ {
+		states := randomStates(r, 1+r.Intn(8), now)
+		h := r.Intn(len(states))
+		w := vtime.Duration(1 + r.Int63n(int64(vtime.MS(5))))
+		if core.SchedulabilityTest(states, h, now, w, nil) {
+			smaller := vtime.Duration(1 + r.Int63n(int64(w)))
+			if !core.SchedulabilityTest(states, h, now, smaller, nil) {
+				t.Fatalf("trial %d: pass at w=%v but fail at smaller w=%v (states=%+v, h=%d)",
+					trial, w, smaller, states, h)
+			}
+		}
+	}
+}
+
+// TestPropertySchedulabilityAntitoneInLoad: adding remaining budget to a
+// higher-priority partition can only make the level-h test harder.
+func TestPropertySchedulabilityAntitoneInLoad(t *testing.T) {
+	r := rng.New(502)
+	now := vtime.Time(vtime.MS(1000))
+	for trial := 0; trial < 2000; trial++ {
+		states := randomStates(r, 2+r.Intn(7), now)
+		h := 1 + r.Intn(len(states)-1)
+		w := core.DefaultQuantum
+		pass := core.SchedulabilityTest(states, h, now, w, nil)
+		if pass {
+			continue
+		}
+		// Reduce every higher-priority partition's remaining budget to zero;
+		// the test must not get worse (failure may flip to success, never
+		// the reverse — verified by re-adding).
+		relaxed := append([]core.PartitionState(nil), states...)
+		for j := 0; j < h; j++ {
+			relaxed[j].Remaining = 0
+		}
+		// If even the relaxed system fails, the original must fail too
+		// (trivially true); the meaningful direction: if original passes,
+		// the relaxed must pass. Check it from the relaxed side:
+		if !core.SchedulabilityTest(relaxed, h, now, w, nil) {
+			// then original (with ≥ interference) must fail as well.
+			if pass {
+				t.Fatalf("trial %d: monotonicity violated", trial)
+			}
+		}
+	}
+}
+
+// TestPropertyCandidateListStructure: the candidate list is always a set of
+// runnable indices in increasing (priority) order, starting with the
+// highest-priority runnable partition, and contiguous over the runnable
+// subsequence (the search stops at the first failure).
+func TestPropertyCandidateListStructure(t *testing.T) {
+	r := rng.New(503)
+	now := vtime.Time(vtime.MS(1000))
+	for trial := 0; trial < 3000; trial++ {
+		states := randomStates(r, 1+r.Intn(10), now)
+		res := core.CandidateSearch(states, now, core.DefaultQuantum, nil)
+
+		var runnable []int
+		for i, s := range states {
+			if s.Runnable {
+				runnable = append(runnable, i)
+			}
+		}
+		if len(runnable) == 0 {
+			if len(res.Candidates) != 0 || res.IdleOK {
+				t.Fatalf("trial %d: no runnable but candidates=%v idle=%v", trial, res.Candidates, res.IdleOK)
+			}
+			continue
+		}
+		if len(res.Candidates) == 0 {
+			t.Fatalf("trial %d: runnable exists but no candidates", trial)
+		}
+		if res.Candidates[0] != runnable[0] {
+			t.Fatalf("trial %d: first candidate %d != top runnable %d", trial, res.Candidates[0], runnable[0])
+		}
+		// Candidates must be exactly the first k runnable indices.
+		for i, c := range res.Candidates {
+			if c != runnable[i] {
+				t.Fatalf("trial %d: candidates %v are not a prefix of runnable %v", trial, res.Candidates, runnable)
+			}
+		}
+		// Idle is only allowed when every runnable partition is a candidate.
+		if res.IdleOK && len(res.Candidates) != len(runnable) {
+			t.Fatalf("trial %d: idle allowed with non-candidates remaining", trial)
+		}
+		// Test count bounded by one per partition.
+		if res.Tests > int64(len(states)) {
+			t.Fatalf("trial %d: %d tests for %d partitions", trial, res.Tests, len(states))
+		}
+	}
+}
+
+// TestPropertySelectReturnsValidOption: Select always returns either a
+// candidate index or IdleChoice (only when idle is allowed).
+func TestPropertySelectReturnsValidOption(t *testing.T) {
+	r := rng.New(504)
+	now := vtime.Time(vtime.MS(1000))
+	for trial := 0; trial < 3000; trial++ {
+		states := randomStates(r, 1+r.Intn(10), now)
+		res := core.CandidateSearch(states, now, core.DefaultQuantum, nil)
+		if len(res.Candidates) == 0 {
+			continue
+		}
+		for _, mode := range []core.SelectionMode{core.SelectUniform, core.SelectWeighted} {
+			choice := core.Select(states, res, now, mode, r, nil)
+			if choice == core.IdleChoice {
+				if !res.IdleOK {
+					t.Fatalf("trial %d: idle chosen but not allowed", trial)
+				}
+				continue
+			}
+			found := false
+			for _, c := range res.Candidates {
+				if c == choice {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: choice %d not in candidates %v", trial, choice, res.Candidates)
+			}
+		}
+	}
+}
+
+// TestPropertyTopCandidateUnaffectedByW: the highest-priority runnable
+// partition is a candidate regardless of the inversion length.
+func TestPropertyTopCandidateUnaffectedByW(t *testing.T) {
+	r := rng.New(505)
+	now := vtime.Time(vtime.MS(1000))
+	for trial := 0; trial < 1000; trial++ {
+		states := randomStates(r, 1+r.Intn(10), now)
+		anyRunnable := false
+		for _, s := range states {
+			if s.Runnable {
+				anyRunnable = true
+				break
+			}
+		}
+		if !anyRunnable {
+			continue
+		}
+		for _, w := range []vtime.Duration{vtime.Microsecond, vtime.MS(1), vtime.MS(100)} {
+			res := core.CandidateSearch(states, now, w, nil)
+			if len(res.Candidates) == 0 {
+				t.Fatalf("trial %d: top runnable lost candidacy at w=%v", trial, w)
+			}
+		}
+	}
+}
+
+// TestPropertyWeightedSelectionFrequencies: over many draws from a fixed
+// 2-candidate state, the empirical selection frequencies approach the
+// remaining-utilization weights (the lottery-scheduling semantics of §IV-A2).
+func TestPropertyWeightedSelectionFrequencies(t *testing.T) {
+	now := vtime.Time(0)
+	states := []core.PartitionState{
+		{Budget: vtime.MS(2), Period: vtime.MS(10), Remaining: vtime.MS(2),
+			NextReplenish: vtime.Time(vtime.MS(10)), Active: true, Runnable: true},
+		{Budget: vtime.MS(6), Period: vtime.MS(20), Remaining: vtime.MS(6),
+			NextReplenish: vtime.Time(vtime.MS(20)), Active: true, Runnable: true},
+	}
+	res := core.SearchResult{Candidates: []int{0, 1}, IdleOK: true}
+	// u0 = 0.2, u1 = 0.3, idle = 0.5.
+	r := rng.New(506)
+	counts := map[int]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[core.Select(states, res, now, core.SelectWeighted, r, nil)]++
+	}
+	check := func(opt int, want float64) {
+		got := float64(counts[opt]) / n
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("option %d frequency %.4f, want ≈%.2f", opt, got, want)
+		}
+	}
+	check(0, 0.2)
+	check(1, 0.3)
+	check(core.IdleChoice, 0.5)
+}

@@ -1,0 +1,116 @@
+package covert
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"timedice/internal/ml"
+	"timedice/internal/stats"
+)
+
+// Aggregate summarizes a channel metric over multiple independent runs.
+type Aggregate struct {
+	RTAccuracy       stats.Summary
+	OnlineRTAccuracy stats.Summary
+	Capacity         stats.Summary
+	VecAccuracy      map[string]*stats.Summary
+	Runs             int
+}
+
+// String renders the aggregate on one line.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("RT %.2f%%±%.2f cap %.3f±%.3f (n=%d)",
+		100*a.RTAccuracy.Mean(), 100*a.RTAccuracy.Std(),
+		a.Capacity.Mean(), a.Capacity.Std(), a.Runs)
+}
+
+// RunSeeds executes the experiment once per seed and aggregates the channel
+// metrics, for statistically robust comparisons across policies. Each run is
+// fully independent (noise, selection, and test bits all derive from the
+// seed).
+func RunSeeds(cfg Config, seeds []uint64, vecTrainers ...ml.Trainer) (*Aggregate, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("covert: RunSeeds needs at least one seed")
+	}
+	results := make([]*Result, len(seeds))
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		res, err := Run(c, vecTrainers...)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		results[i] = res
+	}
+	return aggregate(results), nil
+}
+
+// RunSeedsParallel is RunSeeds with the independent runs spread across a
+// bounded worker pool (each simulation is single-threaded and owns all of
+// its state, so runs parallelize perfectly). workers ≤ 0 uses GOMAXPROCS.
+// The aggregate is identical to RunSeeds' for the same seeds: results are
+// folded in seed order.
+func RunSeedsParallel(cfg Config, seeds []uint64, workers int, vecTrainers ...ml.Trainer) (*Aggregate, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("covert: RunSeedsParallel needs at least one seed")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := cfg
+				c.Seed = seeds[i]
+				res, err := Run(c, vecTrainers...)
+				if err != nil {
+					errs[i] = fmt.Errorf("seed %d: %w", seeds[i], err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range seeds {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return aggregate(results), nil
+}
+
+// aggregate folds per-seed results in order.
+func aggregate(results []*Result) *Aggregate {
+	agg := &Aggregate{VecAccuracy: make(map[string]*stats.Summary)}
+	for _, res := range results {
+		agg.RTAccuracy.Add(res.RTAccuracy)
+		agg.OnlineRTAccuracy.Add(res.OnlineRTAccuracy)
+		agg.Capacity.Add(res.Capacity)
+		for name, acc := range res.VecAccuracy {
+			s, ok := agg.VecAccuracy[name]
+			if !ok {
+				s = &stats.Summary{}
+				agg.VecAccuracy[name] = s
+			}
+			s.Add(acc)
+		}
+		agg.Runs++
+	}
+	return agg
+}

@@ -1,0 +1,117 @@
+package covert
+
+import (
+	"sort"
+
+	"timedice/internal/stats"
+	"timedice/internal/vtime"
+)
+
+// decoder is the response-time receiver of §III-b/c: empirical Pr(R|X)
+// models built during profiling, and maximum-likelihood (Bayesian with
+// uniform prior) classification during communication.
+type decoder struct {
+	hists []*stats.Histogram // per symbol level, 1 ms bins
+}
+
+// profileResponses implements the profiling phase. The receiver knows the
+// agreed pattern cycles through the symbol levels, so it groups its profile
+// measurements by window residue; it then assigns levels to groups by
+// ordering the group means (the paper's "group whose mean value is smaller
+// estimates Pr(R|X=0)"), which makes the decoder robust to the receiver not
+// knowing which group came first.
+func profileResponses(profile []Observation, levels int) *decoder {
+	groups := make([][]float64, levels)
+	for _, ob := range profile {
+		g := ob.Label % levels // residue known by protocol (alternating bits)
+		groups[g] = append(groups[g], ob.Response.Milliseconds())
+	}
+	// Order groups by mean: smallest mean ⇒ level 0.
+	type gm struct {
+		idx  int
+		mean float64
+	}
+	means := make([]gm, 0, levels)
+	for i, g := range groups {
+		var s stats.Summary
+		for _, v := range g {
+			s.Add(v)
+		}
+		means = append(means, gm{idx: i, mean: s.Mean()})
+	}
+	sort.Slice(means, func(a, b int) bool { return means[a].mean < means[b].mean })
+
+	// Common histogram range across groups.
+	maxMS := 1.0
+	for _, g := range groups {
+		for _, v := range g {
+			if v > maxMS {
+				maxMS = v
+			}
+		}
+	}
+	bins := int(maxMS) + 4
+	d := &decoder{hists: make([]*stats.Histogram, levels)}
+	for rank, m := range means {
+		h := stats.NewHistogram(0, 1, bins)
+		for _, v := range groups[m.idx] {
+			h.Add(v)
+		}
+		d.hists[rank] = h
+	}
+	return d
+}
+
+// hist exposes the profiled Pr(R|X=level) histogram.
+func (d *decoder) hist(level int) *stats.Histogram {
+	if level < 0 || level >= len(d.hists) {
+		return nil
+	}
+	return d.hists[level]
+}
+
+// classify returns the most likely symbol for response r: with a uniform
+// prior Pr(X=l), the posterior comparison reduces to comparing the
+// Laplace-smoothed likelihoods Pr(R=r|X=l) (§III-c).
+func (d *decoder) classify(r vtime.Duration) int {
+	ms := r.Milliseconds()
+	best, bestScore := 0, -1.0
+	for level, h := range d.hists {
+		bin := h.BinOf(ms)
+		score := (float64(h.Counts[bin]) + 1) / (float64(h.Total) + float64(len(h.Counts)))
+		if score > bestScore {
+			best, bestScore = level, score
+		}
+	}
+	return best
+}
+
+// Separation quantifies how distinguishable two profiled response
+// distributions are: the total variation distance between Pr(R|X=0) and
+// Pr(R|X=1) in [0,1]. Near 1 under NoRandom (Fig. 4a), near 0 under
+// TimeDiceW (Fig. 14 bottom).
+func Separation(h0, h1 *stats.Histogram) float64 {
+	if h0 == nil || h1 == nil || h0.Total == 0 || h1.Total == 0 {
+		return 0
+	}
+	n := len(h0.Counts)
+	if len(h1.Counts) < n {
+		n = len(h1.Counts)
+	}
+	var tv float64
+	for i := 0; i < n; i++ {
+		diff := h0.Density(i) - h1.Density(i)
+		if diff < 0 {
+			diff = -diff
+		}
+		tv += diff
+	}
+	// Mass beyond the shared range counts fully toward the distance.
+	for i := n; i < len(h0.Counts); i++ {
+		tv += h0.Density(i)
+	}
+	for i := n; i < len(h1.Counts); i++ {
+		tv += h1.Density(i)
+	}
+	return tv / 2
+}

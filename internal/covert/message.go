@@ -1,0 +1,153 @@
+package covert
+
+import (
+	"fmt"
+
+	"timedice/internal/vtime"
+)
+
+// MessageConfig transmits a real payload over the covert channel: the §III-e
+// scenario ("collect the trace of the vehicle's precise location") made
+// end-to-end. The payload is serialized LSB-first, each bit repeated
+// Repetition times (a simple repetition code), and decoded by majority vote
+// at the receiver.
+type MessageConfig struct {
+	// Channel is the underlying experiment configuration. ProfileWindows
+	// sizes the profiling phase as usual; TestWindows and TestSymbols are
+	// derived from the payload and must be left zero.
+	Channel Config
+	// Payload is the secret to exfiltrate.
+	Payload []byte
+	// Repetition is the per-bit repetition factor (odd; default 3).
+	Repetition int
+}
+
+// MessageResult reports the transmission outcome.
+type MessageResult struct {
+	// Recovered is the receiver's decoded payload (same length as the
+	// original).
+	Recovered []byte
+	// BitErrors counts raw channel-bit errors (before majority decoding);
+	// TotalBits is the number of transmitted channel bits.
+	BitErrors, TotalBits int
+	// PayloadBitErrors counts errors after majority decoding.
+	PayloadBitErrors int
+	// ByteAccuracy is the fraction of payload bytes recovered exactly.
+	ByteAccuracy float64
+	// Goodput is the effective payload rate in bits per second of schedule
+	// (payload bits / transmission time), counting only correct bits.
+	Goodput float64
+}
+
+// SendMessage runs profiling and then transmits the payload.
+func SendMessage(cfg MessageConfig) (*MessageResult, error) {
+	if len(cfg.Payload) == 0 {
+		return nil, fmt.Errorf("covert: empty payload")
+	}
+	rep := cfg.Repetition
+	if rep <= 0 {
+		rep = 3
+	}
+	if rep%2 == 0 {
+		return nil, fmt.Errorf("covert: repetition factor must be odd, got %d", rep)
+	}
+	ch := cfg.Channel
+	if ch.Levels > 2 {
+		return nil, fmt.Errorf("covert: message layer is binary; Levels=%d unsupported", ch.Levels)
+	}
+	ch.Levels = 2
+	if len(ch.TestSymbols) != 0 || ch.TestWindows != 0 {
+		return nil, fmt.Errorf("covert: TestWindows/TestSymbols are derived from the payload")
+	}
+	// Resolve defaults now so the window bookkeeping below agrees with the
+	// configuration Run will actually use (warmup windows in particular).
+	if err := ch.fill(); err != nil {
+		return nil, err
+	}
+
+	// Encode: LSB-first bits, each repeated rep times. The copies are
+	// interleaved copy-major (all first copies, then all second copies, …)
+	// so that the ambient interference pattern — which is periodic in the
+	// window index — cannot wipe out all copies of one bit (burst errors
+	// decorrelate across copies).
+	payloadBits := make([]int, 0, len(cfg.Payload)*8)
+	for _, b := range cfg.Payload {
+		for i := 0; i < 8; i++ {
+			payloadBits = append(payloadBits, int(b>>i)&1)
+		}
+	}
+	// Each copy is also cyclically shifted by its copy index: if the payload
+	// length happens to be a multiple of the ambient pattern's period, plain
+	// copy-major interleaving would land every copy of a bit on the same
+	// phase; the shift breaks that alignment for any payload length.
+	n := len(payloadBits)
+	symbols := make([]int, n*rep)
+	for copyIdx := 0; copyIdx < rep; copyIdx++ {
+		for i, bit := range payloadBits {
+			symbols[copyIdx*n+(i+copyIdx)%n] = bit
+		}
+	}
+	ch.TestSymbols = symbols
+	ch.TestWindows = len(symbols)
+
+	run, err := Run(ch)
+	if err != nil {
+		return nil, err
+	}
+	// Reassemble by window index: Observation.Window identifies the slot, so
+	// lost observations (none in practice) default to bit 0.
+	received := make([]int, len(symbols))
+	decoded := make([]bool, len(symbols))
+	dec := profileResponses(run.Profile, 2)
+	base := ch.WarmupWindows + ch.ProfileWindows
+	for _, ob := range run.Test {
+		k := ob.Window - base
+		if k < 0 || k >= len(symbols) {
+			continue
+		}
+		received[k] = dec.classify(ob.Response)
+		decoded[k] = true
+	}
+
+	res := &MessageResult{TotalBits: len(symbols)}
+	for k, want := range symbols {
+		if !decoded[k] || received[k] != want {
+			res.BitErrors++
+		}
+	}
+
+	// Majority-decode each payload bit across its interleaved copies.
+	res.Recovered = make([]byte, len(cfg.Payload))
+	for i, want := range payloadBits {
+		ones := 0
+		for j := 0; j < rep; j++ {
+			ones += received[j*n+(i+j)%n]
+		}
+		bit := 0
+		if 2*ones > rep {
+			bit = 1
+		}
+		if bit != want {
+			res.PayloadBitErrors++
+		}
+		if bit == 1 {
+			res.Recovered[i/8] |= 1 << (i % 8)
+		}
+	}
+	okBytes := 0
+	for i := range cfg.Payload {
+		if res.Recovered[i] == cfg.Payload[i] {
+			okBytes++
+		}
+	}
+	res.ByteAccuracy = float64(okBytes) / float64(len(cfg.Payload))
+
+	window := ch.Window
+	if window <= 0 {
+		window = 3 * ch.Spec.Partitions[ch.Receiver].Period
+	}
+	duration := vtime.Duration(len(symbols)) * window
+	correctBits := len(payloadBits) - res.PayloadBitErrors
+	res.Goodput = float64(correctBits) / duration.Seconds()
+	return res, nil
+}

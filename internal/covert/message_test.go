@@ -1,0 +1,100 @@
+package covert
+
+import (
+	"bytes"
+	"testing"
+
+	"timedice/internal/policies"
+	"timedice/internal/workload"
+)
+
+func messageBase() MessageConfig {
+	ch := baseConfig()
+	ch.ProfileWindows = 200
+	ch.TestWindows = 0
+	return MessageConfig{
+		Channel:    ch,
+		Payload:    []byte("N37.4419 W122.143"), // a "precise location"
+		Repetition: 5,
+	}
+}
+
+func TestSendMessageNoRandomRecoversPayload(t *testing.T) {
+	res, err := SendMessage(messageBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Recovered, []byte("N37.4419 W122.143")) {
+		t.Errorf("payload corrupted: %q (payload-bit errors %d/%d, raw %d/%d)",
+			res.Recovered, res.PayloadBitErrors, 8*len(res.Recovered), res.BitErrors, res.TotalBits)
+	}
+	if res.ByteAccuracy != 1 {
+		t.Errorf("byte accuracy %.3f", res.ByteAccuracy)
+	}
+	if res.Goodput <= 0 {
+		t.Errorf("goodput %.3f", res.Goodput)
+	}
+}
+
+func TestSendMessageTimeDiceGarblesPayload(t *testing.T) {
+	cfg := messageBase()
+	cfg.Channel.Policy = policies.TimeDiceW
+	res, err := SendMessage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw bit error rate near 50% ⇒ even the repetition code cannot save the
+	// payload: most bytes corrupt.
+	if res.ByteAccuracy > 0.5 {
+		t.Errorf("TimeDice left %.0f%% of payload bytes intact; expected most corrupted",
+			100*res.ByteAccuracy)
+	}
+	if float64(res.BitErrors)/float64(res.TotalBits) < 0.2 {
+		t.Errorf("raw BER %.3f under TimeDice, expected substantial",
+			float64(res.BitErrors)/float64(res.TotalBits))
+	}
+}
+
+func TestSendMessageValidation(t *testing.T) {
+	cfg := messageBase()
+	cfg.Payload = nil
+	if _, err := SendMessage(cfg); err == nil {
+		t.Error("empty payload accepted")
+	}
+	cfg = messageBase()
+	cfg.Repetition = 2
+	if _, err := SendMessage(cfg); err == nil {
+		t.Error("even repetition accepted")
+	}
+	cfg = messageBase()
+	cfg.Channel.TestWindows = 10
+	if _, err := SendMessage(cfg); err == nil {
+		t.Error("pre-set TestWindows accepted")
+	}
+	cfg = messageBase()
+	cfg.Channel.Levels = 4
+	if _, err := SendMessage(cfg); err == nil {
+		t.Error("multi-level message accepted")
+	}
+}
+
+func TestSendMessageRepetitionHelps(t *testing.T) {
+	// With a mildly noisy channel (TDMA would be hopeless, NoRandom too
+	// clean), higher repetition should not hurt; use sporadic servers to add
+	// channel noise.
+	mk := func(rep int) float64 {
+		cfg := messageBase()
+		cfg.Channel.Spec = workload.TableIBase()
+		cfg.Channel.NoiseFraction = 0.4
+		cfg.Repetition = rep
+		res, err := SendMessage(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ByteAccuracy
+	}
+	r1, r5 := mk(1), mk(5)
+	if r5+0.10 < r1 {
+		t.Errorf("repetition 5 (%.3f) markedly worse than repetition 1 (%.3f)", r5, r1)
+	}
+}

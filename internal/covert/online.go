@@ -1,0 +1,79 @@
+package covert
+
+import (
+	"math"
+
+	"timedice/internal/vtime"
+)
+
+// OnlineDecoder is an adaptive extension of the response-time receiver: it
+// starts from the profiled Pr(R|X) models and keeps re-estimating them during
+// the communication phase using its own decoded labels (decision-directed
+// adaptation with exponential forgetting). A real adversary would deploy it
+// against a drifting system; the evaluation uses it to check that TimeDice's
+// protection does not rest on the receiver's model going stale — the paper's
+// position is that the randomization itself, not profiling decay, closes the
+// channel, so the adaptive receiver should fare no better than the static one
+// under TimeDice.
+type OnlineDecoder struct {
+	lo, width float64
+	weights   [][]float64 // per level, forgetting-weighted bin masses
+	totals    []float64
+	decay     float64
+}
+
+// newOnlineDecoder clones the profiled models. decay ∈ (0,1) is the
+// forgetting factor applied to the decoded class before each update.
+func newOnlineDecoder(d *decoder, decay float64) *OnlineDecoder {
+	if decay <= 0 || decay >= 1 {
+		decay = 0.995
+	}
+	od := &OnlineDecoder{decay: decay}
+	for _, h := range d.hists {
+		od.lo, od.width = h.Lo, h.Width
+		w := make([]float64, len(h.Counts))
+		var total float64
+		for i, c := range h.Counts {
+			w[i] = float64(c)
+			total += float64(c)
+		}
+		od.weights = append(od.weights, w)
+		od.totals = append(od.totals, total)
+	}
+	return od
+}
+
+func (od *OnlineDecoder) binOf(ms float64) int {
+	if len(od.weights) == 0 || len(od.weights[0]) == 0 {
+		return 0
+	}
+	i := int(math.Floor((ms - od.lo) / od.width))
+	if i < 0 {
+		i = 0
+	}
+	if n := len(od.weights[0]); i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Classify decodes r, then folds the observation back into the decoded
+// class's model with exponential forgetting.
+func (od *OnlineDecoder) Classify(r vtime.Duration) int {
+	ms := r.Milliseconds()
+	bin := od.binOf(ms)
+	best, bestScore := 0, -1.0
+	for level := range od.weights {
+		score := (od.weights[level][bin] + 1) / (od.totals[level] + float64(len(od.weights[level])))
+		if score > bestScore {
+			best, bestScore = level, score
+		}
+	}
+	w := od.weights[best]
+	for i := range w {
+		w[i] *= od.decay
+	}
+	od.totals[best] = od.totals[best]*od.decay + 1
+	w[bin]++
+	return best
+}

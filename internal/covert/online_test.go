@@ -1,0 +1,73 @@
+package covert
+
+import (
+	"testing"
+
+	"timedice/internal/policies"
+	"timedice/internal/vtime"
+)
+
+func TestOnlineDecoderTracksStaticOnStationaryChannel(t *testing.T) {
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnlineRTAccuracy < res.RTAccuracy-0.05 {
+		t.Errorf("online decoder %.3f far below static %.3f on a stationary channel",
+			res.OnlineRTAccuracy, res.RTAccuracy)
+	}
+}
+
+func TestOnlineDecoderDoesNotDefeatTimeDice(t *testing.T) {
+	// The extension's point: an adaptive receiver cannot reopen the channel;
+	// TimeDice's noise is in the schedule, not in model drift.
+	cfg := baseConfig()
+	cfg.Policy = policies.TimeDiceW
+	cfg.TestWindows = 800
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnlineRTAccuracy > res.RTAccuracy+0.10 {
+		t.Errorf("online decoder %.3f substantially beats static %.3f under TimeDice — adaptation should not help",
+			res.OnlineRTAccuracy, res.RTAccuracy)
+	}
+	if res.OnlineRTAccuracy > 0.75 {
+		t.Errorf("online decoder accuracy %.3f under TimeDiceW — channel should stay degraded", res.OnlineRTAccuracy)
+	}
+}
+
+func TestOnlineDecoderSelfConsistency(t *testing.T) {
+	// Classifying the same strongly-separated response repeatedly must keep
+	// returning the same level (decision-directed updates reinforce it).
+	profile := make([]Observation, 0, 100)
+	for i := 0; i < 100; i++ {
+		r := vtime.MS(100)
+		if i%2 == 1 {
+			r = vtime.MS(130)
+		}
+		profile = append(profile, Observation{Window: i, Label: i % 2, Response: r})
+	}
+	dec := profileResponses(profile, 2)
+	od := newOnlineDecoder(dec, 0.99)
+	for i := 0; i < 200; i++ {
+		if got := od.Classify(vtime.MS(100)); got != 0 {
+			t.Fatalf("iteration %d: fast response classified as %d", i, got)
+		}
+		if got := od.Classify(vtime.MS(130)); got != 1 {
+			t.Fatalf("iteration %d: slow response classified as %d", i, got)
+		}
+	}
+}
+
+func TestOnlineDecoderDecayBounds(t *testing.T) {
+	dec := profileResponses([]Observation{
+		{Window: 0, Label: 0, Response: vtime.MS(100)},
+		{Window: 1, Label: 1, Response: vtime.MS(120)},
+	}, 2)
+	// Out-of-range decay falls back to the default.
+	od := newOnlineDecoder(dec, 5)
+	if od.decay != 0.995 {
+		t.Errorf("decay fallback = %v", od.decay)
+	}
+}

@@ -1,0 +1,88 @@
+package covert
+
+import (
+	"testing"
+
+	"timedice/internal/ml"
+	"timedice/internal/policies"
+)
+
+func TestPulsePositionLevelsCapped(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Strategy = PulsePosition
+	cfg.Levels = 10 // only 3 sender arrivals per 150ms window at 50ms period
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Levels != 3 {
+		t.Errorf("levels = %d, want capped at 3", cfg.Levels)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if AmplitudeModulation.String() != "amplitude" || PulsePosition.String() != "pulse-position" {
+		t.Error("strategy names")
+	}
+}
+
+// TestPulsePositionChannel captures the smarter-adversary finding: position
+// modulation is invisible to the response-time receiver (the burst position
+// barely moves the completion instant) but clearly readable from execution
+// vectors; TimeDice degrades the vector receiver but — consistent with
+// §V-C's "communication is still possible at a slow rate" — does not
+// eliminate it.
+func TestPulsePositionChannel(t *testing.T) {
+	run := func(pol policies.Kind) *Result {
+		cfg := baseConfig()
+		cfg.Strategy = PulsePosition
+		cfg.ProfileWindows = 400
+		cfg.TestWindows = 800
+		cfg.Policy = pol
+		res, err := Run(cfg, ml.SVM{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	nr := run(policies.NoRandom)
+	td := run(policies.TimeDiceW)
+
+	// Stealth: the RT receiver is near chance even with no defense.
+	if nr.RTAccuracy > 0.62 {
+		t.Errorf("PPM should evade the response-time receiver; got %.3f", nr.RTAccuracy)
+	}
+	// The vector receiver reads it clearly...
+	if nr.VecAccuracy["svm-rbf"] < 0.9 {
+		t.Errorf("SVM on PPM under NoRandom: %.3f, want >= 0.9", nr.VecAccuracy["svm-rbf"])
+	}
+	// ...and TimeDice knocks it down substantially.
+	if td.VecAccuracy["svm-rbf"] > nr.VecAccuracy["svm-rbf"]-0.10 {
+		t.Errorf("TimeDice vs PPM: SVM %.3f vs NoRandom %.3f — insufficient drop",
+			td.VecAccuracy["svm-rbf"], nr.VecAccuracy["svm-rbf"])
+	}
+}
+
+// TestLocalShufflingDoesNotCloseTheChannel is the TaskShuffler negative
+// result: randomizing the order of tasks INSIDE partitions leaves the
+// partition-level CPU occupancy — the channel's medium — untouched, so the
+// covert channel survives essentially intact. Only partition-level
+// randomization (TimeDice) closes it.
+func TestLocalShufflingDoesNotCloseTheChannel(t *testing.T) {
+	base, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig()
+	cfg.ShuffleLocal = true
+	shuffled, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shuffled.RTAccuracy < base.RTAccuracy-0.08 {
+		t.Errorf("local shuffling dropped accuracy from %.3f to %.3f — it should not close the channel",
+			base.RTAccuracy, shuffled.RTAccuracy)
+	}
+	if shuffled.RTAccuracy < 0.8 {
+		t.Errorf("channel under local shuffling: %.3f, want still high", shuffled.RTAccuracy)
+	}
+}

@@ -1,0 +1,93 @@
+package covert
+
+import (
+	"testing"
+
+	"timedice/internal/vtime"
+)
+
+// newState builds a channelState with the given window/micro configuration.
+func newState(window vtime.Duration, micro, totalWindows int) *channelState {
+	cs := &channelState{
+		window:  window,
+		micro:   micro,
+		total:   totalWindows,
+		vectors: make([][]float64, totalWindows),
+	}
+	for i := range cs.vectors {
+		cs.vectors[i] = make([]float64, micro)
+	}
+	return cs
+}
+
+func TestMarkSingleInterval(t *testing.T) {
+	cs := newState(vtime.MS(150), 150, 4)
+	// Execution entirely within micro-interval 3 of window 0: [3ms, 3.5ms).
+	cs.mark(vtime.Time(vtime.MS(3)), vtime.Time(vtime.FromFloatMS(3.5)))
+	for i, v := range cs.vectors[0] {
+		want := 0.0
+		if i == 3 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("interval %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestMarkSpansIntervals(t *testing.T) {
+	cs := newState(vtime.MS(150), 150, 4)
+	// [2.5ms, 5.2ms) touches intervals 2,3,4,5.
+	cs.mark(vtime.Time(vtime.FromFloatMS(2.5)), vtime.Time(vtime.FromFloatMS(5.2)))
+	for i := 0; i < 10; i++ {
+		want := 0.0
+		if i >= 2 && i <= 5 {
+			want = 1
+		}
+		if cs.vectors[0][i] != want {
+			t.Fatalf("interval %d = %v, want %v", i, cs.vectors[0][i], want)
+		}
+	}
+}
+
+func TestMarkSpansWindows(t *testing.T) {
+	cs := newState(vtime.MS(150), 150, 4)
+	// [149.5ms, 151ms) touches the last interval of window 0 and the first
+	// of window 1.
+	cs.mark(vtime.Time(vtime.FromFloatMS(149.5)), vtime.Time(vtime.MS(151)))
+	if cs.vectors[0][149] != 1 {
+		t.Error("last interval of window 0 not marked")
+	}
+	if cs.vectors[1][0] != 1 {
+		t.Error("first interval of window 1 not marked")
+	}
+	if cs.vectors[1][1] != 0 {
+		t.Error("interval past the execution marked")
+	}
+}
+
+func TestMarkBeyondTotalIgnored(t *testing.T) {
+	cs := newState(vtime.MS(150), 150, 2)
+	// Execution after the last tracked window must not panic or write.
+	cs.mark(vtime.Time(vtime.MS(400)), vtime.Time(vtime.MS(410)))
+	for w := range cs.vectors {
+		for i, v := range cs.vectors[w] {
+			if v != 0 {
+				t.Fatalf("window %d interval %d unexpectedly marked", w, i)
+			}
+		}
+	}
+}
+
+func TestMarkExactBoundary(t *testing.T) {
+	cs := newState(vtime.MS(150), 150, 2)
+	// A segment ending exactly on an interval boundary marks only the
+	// intervals it overlaps.
+	cs.mark(vtime.Time(vtime.MS(1)), vtime.Time(vtime.MS(2)))
+	if cs.vectors[0][1] != 1 {
+		t.Error("interval 1 not marked")
+	}
+	if cs.vectors[0][2] != 0 {
+		t.Error("interval 2 marked by a segment ending at its start")
+	}
+}

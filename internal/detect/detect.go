@@ -1,0 +1,159 @@
+// Package detect is the defender-side complement to the covert channel: a
+// monitor that watches each partition's per-period budget consumption — a
+// quantity the system integrator can observe without trusting any partition —
+// and flags senders by the bimodality of their consumption pattern. The
+// §III sender must alternate between consuming its budget fully (bit 1) and
+// minimally (bit 0); that signature survives schedule randomization, because
+// TimeDice changes WHEN a partition runs, never HOW MUCH it chooses to
+// consume. Mitigation (TimeDice) and detection (this package) are therefore
+// complementary defenses.
+package detect
+
+import (
+	"math"
+	"sort"
+
+	"timedice/internal/engine"
+	"timedice/internal/model"
+	"timedice/internal/vtime"
+)
+
+// ConsumptionObserver accumulates, per partition, the CPU time consumed in
+// each of its replenishment periods.
+type ConsumptionObserver struct {
+	spec   model.SystemSpec
+	series []map[int64]vtime.Duration
+}
+
+// NewConsumptionObserver builds an observer for spec.
+func NewConsumptionObserver(spec model.SystemSpec) *ConsumptionObserver {
+	o := &ConsumptionObserver{spec: spec}
+	o.series = make([]map[int64]vtime.Duration, len(spec.Partitions))
+	for i := range o.series {
+		o.series[i] = make(map[int64]vtime.Duration)
+	}
+	return o
+}
+
+// Hook returns the engine trace hook feeding the observer.
+func (o *ConsumptionObserver) Hook() func(engine.Segment) {
+	return func(seg engine.Segment) {
+		if seg.Partition < 0 {
+			return
+		}
+		T := o.spec.Partitions[seg.Partition].Period
+		for t := seg.Start; t < seg.End; {
+			k := int64(t) / int64(T)
+			winEnd := vtime.Time((k + 1) * int64(T))
+			chunk := seg.End.Min(winEnd).Sub(t)
+			o.series[seg.Partition][k] += chunk
+			t = t.Add(chunk)
+		}
+	}
+}
+
+// Series returns partition i's per-period consumption in milliseconds,
+// ordered by period index. Periods with zero consumption are included up to
+// the last observed period (a modulating sender's "bit 0" periods ARE the
+// signal).
+func (o *ConsumptionObserver) Series(i int) []float64 {
+	m := o.series[i]
+	var last int64 = -1
+	for k := range m {
+		if k > last {
+			last = k
+		}
+	}
+	out := make([]float64, 0, last+1)
+	for k := int64(0); k <= last; k++ {
+		out = append(out, m[k].Milliseconds())
+	}
+	return out
+}
+
+// BimodalityScore quantifies how two-valued a series is, in [0, 1]: a 1-D
+// 2-means split is scored by the between-cluster separation relative to the
+// total spread, damped by cluster imbalance. Constant or unimodal jittered
+// series score near 0; an alternating full/minimal sender scores near 1.
+func BimodalityScore(series []float64) float64 {
+	n := len(series)
+	if n < 4 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, series)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[n-1]
+	if hi-lo < 1e-9 {
+		return 0
+	}
+	// Exact optimal 1-D 2-means over sorted data: try every split point.
+	prefix := make([]float64, n+1)
+	prefixSq := make([]float64, n+1)
+	for i, v := range sorted {
+		prefix[i+1] = prefix[i] + v
+		prefixSq[i+1] = prefixSq[i] + v*v
+	}
+	sse := func(a, b int) float64 { // sum of squared error of sorted[a:b]
+		cnt := float64(b - a)
+		if cnt == 0 {
+			return 0
+		}
+		sum := prefix[b] - prefix[a]
+		sumSq := prefixSq[b] - prefixSq[a]
+		return sumSq - sum*sum/cnt
+	}
+	totalSSE := sse(0, n)
+	if totalSSE < 1e-12 {
+		return 0
+	}
+	bestSplit, bestSSE := 1, math.Inf(1)
+	for s := 1; s < n; s++ {
+		if e := sse(0, s) + sse(s, n); e < bestSSE {
+			bestSSE, bestSplit = e, s
+		}
+	}
+	// Explained variance by the 2-cluster model.
+	explained := 1 - bestSSE/totalSSE
+	// Balance damping: a lone outlier should not look like modulation.
+	p := float64(bestSplit) / float64(n)
+	balance := 4 * p * (1 - p) // 1 when 50/50, →0 when degenerate
+	// Valley test: true modulation leaves the region between the two
+	// cluster means almost empty, while uniform or unimodal data fills it.
+	// midFrac is the fraction of samples in the middle third between the
+	// cluster means; a uniform distribution puts ≈1/3 of its mass there.
+	m1 := (prefix[bestSplit] - prefix[0]) / float64(bestSplit)
+	m2 := (prefix[n] - prefix[bestSplit]) / float64(n-bestSplit)
+	gap := m2 - m1
+	if gap <= 0 {
+		return 0
+	}
+	lo3, hi3 := m1+gap/3, m2-gap/3
+	mid := 0
+	for _, v := range sorted {
+		if v > lo3 && v < hi3 {
+			mid++
+		}
+	}
+	valley := 1 - 3*float64(mid)/float64(n)
+	if valley < 0 {
+		valley = 0
+	}
+	return explained * balance * valley
+}
+
+// Ranking is the monitor's verdict: partitions ordered by modulation score.
+type Ranking struct {
+	Partition string
+	Score     float64
+}
+
+// Rank scores every partition's consumption series and sorts descending.
+func (o *ConsumptionObserver) Rank() []Ranking {
+	out := make([]Ranking, len(o.spec.Partitions))
+	for i, p := range o.spec.Partitions {
+		out[i] = Ranking{Partition: p.Name, Score: BimodalityScore(o.Series(i))}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	return out
+}

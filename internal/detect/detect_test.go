@@ -1,0 +1,72 @@
+package detect
+
+import (
+	"testing"
+
+	"timedice/internal/rng"
+)
+
+func TestBimodalityScoreShapes(t *testing.T) {
+	r := rng.New(1)
+
+	// Alternating full/minimal (the sender's signature): near 1.
+	var sender []float64
+	for i := 0; i < 200; i++ {
+		if r.Bit() == 1 {
+			sender = append(sender, 4.8+0.05*r.NormFloat64())
+		} else {
+			sender = append(sender, 0.01)
+		}
+	}
+	if s := BimodalityScore(sender); s < 0.8 {
+		t.Errorf("sender-like series scored %.3f, want high", s)
+	}
+
+	// Unimodal jitter (a noise partition): low.
+	var noise []float64
+	for i := 0; i < 200; i++ {
+		noise = append(noise, 4.0+0.4*r.Float64())
+	}
+	if s := BimodalityScore(noise); s > 0.5 {
+		t.Errorf("unimodal series scored %.3f, want low", s)
+	}
+
+	// Constant consumption: exactly 0.
+	constant := make([]float64, 100)
+	for i := range constant {
+		constant[i] = 3.2
+	}
+	if s := BimodalityScore(constant); s != 0 {
+		t.Errorf("constant series scored %.3f", s)
+	}
+
+	// A single outlier must not look like modulation (balance damping).
+	outlier := make([]float64, 100)
+	for i := range outlier {
+		outlier[i] = 3.2
+	}
+	outlier[50] = 0
+	if s := BimodalityScore(outlier); s > 0.2 {
+		t.Errorf("lone outlier scored %.3f, want damped", s)
+	}
+
+	// Degenerate inputs.
+	if BimodalityScore(nil) != 0 || BimodalityScore([]float64{1, 2}) != 0 {
+		t.Error("degenerate inputs should score 0")
+	}
+}
+
+func TestBimodalityScoreBounded(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + r.Intn(100)
+		series := make([]float64, n)
+		for i := range series {
+			series[i] = 10 * r.Float64()
+		}
+		s := BimodalityScore(series)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+}

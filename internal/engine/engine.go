@@ -1,0 +1,285 @@
+// Package engine is the hierarchical scheduling simulator: a discrete-event
+// engine that reproduces the two-level scheduling of the paper's Fig. 1.
+// At every scheduling decision point — task arrival, task completion, budget
+// depletion, budget replenishment, or quantum expiry — the engine asks the
+// configured global policy which partition takes the CPU, then lets that
+// partition's local fixed-priority scheduler run its tasks until the next
+// decision point, depleting the partition's budget for the amount executed.
+//
+// The engine is single-threaded and deterministic: given the same
+// configuration and seed it produces the identical schedule, which the test
+// suite relies on.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"timedice/internal/partition"
+	"timedice/internal/rng"
+	"timedice/internal/vtime"
+)
+
+// GlobalPolicy selects the partition to execute at each decision point.
+//
+// Pick returns the partition that takes the CPU for the upcoming slice, or
+// nil to idle the CPU. Implementations must only return partitions that are
+// Runnable, or nil. Quantum bounds the slice length for randomizing policies
+// (the paper's MIN_INV_SIZE); a zero quantum means the slice runs until the
+// next natural event, which is the behaviour of the default (NoRandom)
+// scheduler.
+type GlobalPolicy interface {
+	Name() string
+	Quantum() vtime.Duration
+	Pick(sys *System, now vtime.Time) *partition.Partition
+}
+
+// BoundaryPolicy is an optional extension of GlobalPolicy for policies with
+// their own decision boundaries beyond a fixed quantum (e.g. TDMA slot
+// edges). NextBoundary returns the next instant strictly after now at which
+// the policy must be consulted again.
+type BoundaryPolicy interface {
+	NextBoundary(now vtime.Time) vtime.Time
+}
+
+// Segment is one maximal interval of the schedule trace during which the CPU
+// ran a single partition (or idled).
+type Segment struct {
+	Start, End vtime.Time
+	// Partition is the index of the executing partition in the system's
+	// priority-ordered slice, or -1 for idle time.
+	Partition int
+}
+
+// Counters aggregates the schedule statistics reported in Table V and
+// Fig. 17 of the paper.
+type Counters struct {
+	Decisions      int64           // global scheduling decisions made
+	Switches       int64           // decisions whose outcome differed from the previous one
+	IdleDecisions  int64           // decisions that chose to idle
+	BusyTime       vtime.Duration  // CPU time spent executing partitions
+	IdleTime       vtime.Duration  // CPU time spent idle
+	PolicyTime     time.Duration   // wall-clock time inside Pick (Fig. 17)
+	PolicySamples  int64           // number of timed Pick calls
+	PolicyLatencyN []time.Duration // individual Pick latencies when MeasureLatency
+}
+
+// System is a complete simulated system: partitions under one global policy.
+type System struct {
+	// Partitions in decreasing priority order (index 0 = highest).
+	Partitions []*partition.Partition
+	Policy     GlobalPolicy
+	Rand       *rng.Rand
+
+	// TraceFn, when non-nil, receives every schedule segment as it is
+	// produced. Segments are contiguous and non-overlapping.
+	TraceFn func(Segment)
+	// MeasureLatency records the wall-clock latency of every Pick call in
+	// Counters.PolicyLatencyN (Table IV). It is off by default because the
+	// sample slice grows with the run length.
+	MeasureLatency bool
+
+	Counters Counters
+
+	now     vtime.Time
+	running int // index of last picked partition, or -1
+	perPart []vtime.Duration
+}
+
+// ErrNoPartitions is returned by New when the partition list is empty.
+var ErrNoPartitions = errors.New("engine: system needs at least one partition")
+
+// New assembles a system. Partitions are sorted by priority internally; the
+// priorities must be unique. A nil Rand defaults to seed 1.
+func New(parts []*partition.Partition, policy GlobalPolicy, rnd *rng.Rand) (*System, error) {
+	if len(parts) == 0 {
+		return nil, ErrNoPartitions
+	}
+	if policy == nil {
+		return nil, errors.New("engine: nil global policy")
+	}
+	ordered := make([]*partition.Partition, len(parts))
+	copy(ordered, parts)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].Priority < ordered[j-1].Priority; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	for i := 1; i < len(ordered); i++ {
+		if ordered[i].Priority == ordered[i-1].Priority {
+			return nil, fmt.Errorf("engine: duplicate partition priority %d (%q, %q)",
+				ordered[i].Priority, ordered[i-1].Name, ordered[i].Name)
+		}
+	}
+	for i, p := range ordered {
+		p.Index = i
+	}
+	if rnd == nil {
+		rnd = rng.New(1)
+	}
+	return &System{
+		Partitions: ordered,
+		Policy:     policy,
+		Rand:       rnd,
+		running:    -1,
+		perPart:    make([]vtime.Duration, len(ordered)),
+	}, nil
+}
+
+// Now returns the current simulated instant.
+func (s *System) Now() vtime.Time { return s.now }
+
+// PartitionTime returns the accumulated CPU time of partition index i.
+func (s *System) PartitionTime(i int) vtime.Duration { return s.perPart[i] }
+
+// Runnable returns the partitions that are active and have ready work, in
+// decreasing priority order. This is the candidate universe global policies
+// choose from; under the polling server it equals the paper's list of active
+// partitions L_t.
+func (s *System) Runnable() []*partition.Partition {
+	out := make([]*partition.Partition, 0, len(s.Partitions))
+	for _, p := range s.Partitions {
+		if p.Runnable() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Run advances the simulation until the given instant.
+func (s *System) Run(until vtime.Time) {
+	for s.now < until {
+		s.step(until)
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *System) RunFor(d vtime.Duration) { s.Run(s.now.Add(d)) }
+
+func (s *System) step(until vtime.Time) {
+	now := s.now
+
+	// Deliver every event due at or before now: replenishments and arrivals.
+	for _, p := range s.Partitions {
+		p.Server.AdvanceTo(now)
+		p.Local.ReleaseUpTo(now)
+	}
+	// Polling servers discard budget the moment they hold it with no
+	// pending workload.
+	for _, p := range s.Partitions {
+		if !p.Local.HasReady() {
+			p.Server.NoteIdle(now)
+		}
+	}
+
+	// Global scheduling decision.
+	s.Counters.Decisions++
+	var pick *partition.Partition
+	if s.MeasureLatency {
+		t0 := time.Now()
+		pick = s.Policy.Pick(s, now)
+		lat := time.Since(t0)
+		s.Counters.PolicyTime += lat
+		s.Counters.PolicySamples++
+		s.Counters.PolicyLatencyN = append(s.Counters.PolicyLatencyN, lat)
+	} else {
+		t0 := time.Now()
+		pick = s.Policy.Pick(s, now)
+		s.Counters.PolicyTime += time.Since(t0)
+		s.Counters.PolicySamples++
+	}
+
+	pickIdx := -1
+	if pick != nil {
+		pickIdx = pick.Index
+	}
+	if pickIdx != s.running {
+		s.Counters.Switches++
+		s.running = pickIdx
+	}
+	if pick == nil {
+		s.Counters.IdleDecisions++
+	}
+
+	// The slice ends at the earliest of: the horizon, any partition's next
+	// replenishment or arrival, the quantum boundary, and — if a partition
+	// runs — its budget depletion or current-job completion.
+	horizon := until
+	for _, p := range s.Partitions {
+		if e := p.NextLocalEvent(); e < horizon {
+			horizon = e
+		}
+	}
+	if q := s.Policy.Quantum(); q > 0 {
+		if qe := now.Add(q); qe < horizon {
+			horizon = qe
+		}
+	}
+	if bp, ok := s.Policy.(BoundaryPolicy); ok {
+		if be := bp.NextBoundary(now); be > now && be < horizon {
+			horizon = be
+		}
+	}
+	if pick != nil {
+		if be := now.Add(pick.Server.Remaining()); be < horizon {
+			horizon = be
+		}
+		if jr := pick.Local.ShortestRemaining(); jr != vtime.Forever {
+			if je := now.Add(jr); je < horizon {
+				horizon = je
+			}
+		}
+	}
+	if horizon <= now {
+		// All events at now were already delivered, so the earliest future
+		// event is strictly later; this is a defensive fallback that keeps
+		// the simulation moving even if a policy misbehaves.
+		horizon = now.Add(vtime.Microsecond)
+		if horizon > until {
+			horizon = until
+		}
+	}
+
+	d := horizon.Sub(now)
+	if pick != nil {
+		// Never execute beyond the remaining budget: a well-behaved policy
+		// ensures d <= Remaining via the depletion bound above, but a
+		// misbehaving one could pick an inactive partition with pending
+		// work, and the defensive minimum-advance must not overdraw it.
+		used := pick.Local.Run(now, d.Min(pick.Server.Remaining()))
+		pick.Server.Consume(now, used)
+		s.perPart[pick.Index] += used
+		s.Counters.BusyTime += used
+		end := now.Add(used)
+		if used == 0 {
+			// Defensive: a policy returned a partition with no ready work.
+			end = horizon
+			s.Counters.IdleTime += d
+		}
+		if s.TraceFn != nil {
+			s.TraceFn(Segment{Start: now, End: end, Partition: pick.Index})
+		}
+		s.now = end
+		return
+	}
+	s.Counters.IdleTime += d
+	if s.TraceFn != nil {
+		s.TraceFn(Segment{Start: now, End: horizon, Partition: -1})
+	}
+	s.now = horizon
+}
+
+// Reset restores the system to its initial state: time zero, full budgets,
+// no pending jobs, zeroed counters. The policy and RNG are kept as-is.
+func (s *System) Reset() {
+	for _, p := range s.Partitions {
+		p.Reset()
+	}
+	s.now = 0
+	s.running = -1
+	s.Counters = Counters{}
+	for i := range s.perPart {
+		s.perPart[i] = 0
+	}
+}

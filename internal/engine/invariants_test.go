@@ -1,0 +1,283 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"timedice/internal/core"
+	"timedice/internal/engine"
+	"timedice/internal/model"
+	"timedice/internal/partition"
+	"timedice/internal/rng"
+	"timedice/internal/sched"
+	"timedice/internal/server"
+	"timedice/internal/task"
+	"timedice/internal/vtime"
+	"timedice/internal/workload"
+)
+
+// policiesUnderTest builds one of each global policy for the partitions.
+func policiesUnderTest(t *testing.T, parts []*partition.Partition) []engine.GlobalPolicy {
+	t.Helper()
+	tdma, err := sched.NewTDMA(parts)
+	if err != nil {
+		t.Fatalf("tdma: %v", err)
+	}
+	return []engine.GlobalPolicy{
+		sched.FixedPriority{},
+		core.NewPolicy(),
+		core.NewPolicy(core.WithSelection(core.SelectUniform)),
+		tdma,
+	}
+}
+
+// TestEngineInvariantsAcrossPoliciesAndServers runs randomized systems under
+// every (policy × server) combination and checks the engine's fundamental
+// invariants:
+//
+//  1. time accounting: busy + idle == elapsed;
+//  2. supply upper bound: no partition executes more than B_i in any
+//     replenishment-aligned window [kT_i, (k+1)T_i) (for the periodic
+//     servers) — the temporal-isolation guarantee;
+//  3. trace segments are contiguous, non-overlapping, and only name valid
+//     partitions;
+//  4. determinism: identical seeds yield identical counters.
+func TestEngineInvariantsAcrossPoliciesAndServers(t *testing.T) {
+	r := rng.New(2024)
+	horizon := vtime.Time(2 * vtime.Second)
+
+	for sysIdx := 0; sysIdx < 6; sysIdx++ {
+		spec := workload.Random(r, workload.DefaultRandomOptions())
+		for _, srv := range []server.Policy{server.Polling, server.Deferrable} {
+			localSpec := spec
+			localSpec.Partitions = append([]model.PartitionSpec(nil), spec.Partitions...)
+			for i := range localSpec.Partitions {
+				localSpec.Partitions[i].Server = srv
+			}
+			built, err := localSpec.Build()
+			if err != nil {
+				t.Fatalf("system %d: %v", sysIdx, err)
+			}
+			for _, pol := range policiesUnderTest(t, built.Partitions) {
+				name := fmt.Sprintf("sys%d/%v/%s", sysIdx, srv, pol.Name())
+				t.Run(name, func(t *testing.T) {
+					// Fresh build per run (policies may keep state).
+					b2, err := localSpec.Build()
+					if err != nil {
+						t.Fatal(err)
+					}
+					var pol2 engine.GlobalPolicy
+					switch pol.Name() {
+					case "NoRandom":
+						pol2 = sched.FixedPriority{}
+					case "TimeDiceW":
+						pol2 = core.NewPolicy()
+					case "TimeDiceU":
+						pol2 = core.NewPolicy(core.WithSelection(core.SelectUniform))
+					case "TDMA":
+						pol2, err = sched.NewTDMA(b2.Partitions)
+						if err != nil {
+							t.Skipf("tdma infeasible: %v", err)
+						}
+					}
+					sys, err := engine.New(b2.Partitions, pol2, rng.New(7))
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					supply := make([]map[int64]vtime.Duration, len(localSpec.Partitions))
+					for i := range supply {
+						supply[i] = make(map[int64]vtime.Duration)
+					}
+					var prevEnd vtime.Time
+					sys.TraceFn = func(seg engine.Segment) {
+						if seg.Start != prevEnd {
+							t.Fatalf("trace gap at %v (prev end %v)", seg.Start, prevEnd)
+						}
+						prevEnd = seg.End
+						if seg.Partition < -1 || seg.Partition >= len(localSpec.Partitions) {
+							t.Fatalf("segment names invalid partition %d", seg.Partition)
+						}
+						if seg.Partition < 0 {
+							return
+						}
+						T := localSpec.Partitions[seg.Partition].Period
+						for t0 := seg.Start; t0 < seg.End; {
+							k := int64(t0) / int64(T)
+							winEnd := vtime.Time((k + 1) * int64(T))
+							chunk := seg.End.Min(winEnd).Sub(t0)
+							supply[seg.Partition][k] += chunk
+							t0 = t0.Add(chunk)
+						}
+					}
+					sys.Run(horizon)
+
+					c := sys.Counters
+					if got := c.BusyTime + c.IdleTime; got != vtime.Duration(horizon) {
+						t.Errorf("busy+idle = %v, want %v", got, horizon)
+					}
+					for i, p := range localSpec.Partitions {
+						for k, used := range supply[i] {
+							if used > p.Budget {
+								t.Errorf("%s exceeded budget in period %d: %v > %v",
+									p.Name, k, used, p.Budget)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSporadicServerInvariant verifies the sliding-window supply bound for
+// the sporadic server: no partition consumes more than B_i in ANY window of
+// length T_i (the defining property of the sporadic server, stronger than
+// the periodic-window bound).
+func TestSporadicServerInvariant(t *testing.T) {
+	spec := workload.ThreePartition()
+	spec.Partitions = append([]model.PartitionSpec(nil), spec.Partitions...)
+	for i := range spec.Partitions {
+		spec.Partitions[i].Server = server.Sporadic
+		// Make every task hungry: demand = budget at every period.
+		spec.Partitions[i].Tasks = []model.TaskSpec{{
+			Name:   "greedy",
+			Period: spec.Partitions[i].Period,
+			WCET:   spec.Partitions[i].Budget,
+		}}
+	}
+	built, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := engine.New(built.Partitions, sched.FixedPriority{}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type segment struct {
+		start, end vtime.Time
+	}
+	perPart := make([][]segment, len(spec.Partitions))
+	sys.TraceFn = func(seg engine.Segment) {
+		if seg.Partition >= 0 {
+			perPart[seg.Partition] = append(perPart[seg.Partition], segment{seg.Start, seg.End})
+		}
+	}
+	sys.Run(vtime.Time(2 * vtime.Second))
+
+	for i, p := range spec.Partitions {
+		T, B := p.Period, p.Budget
+		segs := perPart[i]
+		// Slide a window starting at each segment start.
+		for a := range segs {
+			winStart := segs[a].start
+			winEnd := winStart.Add(T)
+			var used vtime.Duration
+			for _, s := range segs[a:] {
+				if s.start >= winEnd {
+					break
+				}
+				used += s.end.Min(winEnd).Sub(s.start)
+			}
+			if used > B {
+				t.Fatalf("%s: %v consumed in sliding window [%v,%v), budget %v",
+					p.Name, used, winStart, winEnd, B)
+			}
+		}
+	}
+}
+
+// TestEngineLongRunStability pushes a 20-partition system for a longer
+// horizon under TimeDice and checks nothing degenerates (steady decision
+// rate, no budget violations at the aggregate level).
+func TestEngineLongRunStability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	spec := workload.Scale(workload.TableIBase(), 4)
+	built, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := engine.New(built.Partitions, core.NewPolicy(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 20 * vtime.Second
+	sys.Run(vtime.Time(horizon))
+	c := sys.Counters
+	decRate := float64(c.Decisions) / horizon.Seconds()
+	if decRate < 500 || decRate > 20000 {
+		t.Errorf("decision rate %v/s out of sane range", decRate)
+	}
+	for i, p := range spec.Partitions {
+		maxShare := float64(p.Budget) / float64(p.Period)
+		got := sys.PartitionTime(i).Seconds() / horizon.Seconds()
+		if got > maxShare+1e-9 {
+			t.Errorf("%s CPU share %.4f exceeds budget ratio %.4f", p.Name, got, maxShare)
+		}
+	}
+}
+
+// TestAdversarialTasksCannotBreachIsolation pits a misbehaving partition —
+// tasks that arrive as fast as allowed and always demand their full WCET —
+// against well-behaved ones, under every policy. Temporal isolation must
+// hold: no partition exceeds its budget in any replenishment period, and the
+// well-behaved partitions never miss deadlines.
+func TestAdversarialTasksCannotBreachIsolation(t *testing.T) {
+	spec := model.SystemSpec{
+		Name: "adversarial",
+		Partitions: []model.PartitionSpec{
+			{Name: "victim", Budget: vtime.MS(2), Period: vtime.MS(10),
+				Tasks: []model.TaskSpec{{Name: "v", Period: vtime.MS(20), WCET: vtime.MS(2)}}},
+			{Name: "attacker", Budget: vtime.MS(4), Period: vtime.MS(20),
+				Tasks: []model.TaskSpec{
+					{Name: "burst1", Period: vtime.MS(5), WCET: vtime.MS(4)},
+					{Name: "burst2", Period: vtime.MS(5), WCET: vtime.MS(4)},
+				}},
+			{Name: "victim2", Budget: vtime.MS(3), Period: vtime.MS(30),
+				Tasks: []model.TaskSpec{{Name: "w", Period: vtime.MS(60), WCET: vtime.MS(3)}}},
+		},
+	}
+	for _, mk := range []func([]*partition.Partition) (engine.GlobalPolicy, error){
+		func([]*partition.Partition) (engine.GlobalPolicy, error) { return sched.FixedPriority{}, nil },
+		func([]*partition.Partition) (engine.GlobalPolicy, error) { return core.NewPolicy(), nil },
+	} {
+		built, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol, err := mk(built.Partitions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := engine.New(built.Partitions, pol, rng.New(13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The attacker's backlog grows without bound (demand 160% of its
+		// budget); the victims must be unaffected.
+		missesV, missesW := 0, 0
+		built.Sched["victim"].OnComplete = func(c task.Completion) {
+			if c.Response > vtime.MS(20) {
+				missesV++
+			}
+		}
+		built.Sched["victim2"].OnComplete = func(c task.Completion) {
+			if c.Response > vtime.MS(60) {
+				missesW++
+			}
+		}
+		const horizon = 5 * vtime.Second
+		sys.Run(vtime.Time(horizon))
+		if missesV > 0 || missesW > 0 {
+			t.Errorf("%s: victims missed deadlines (v=%d, w=%d) despite budget isolation",
+				pol.Name(), missesV, missesW)
+		}
+		// The attacker is confined to its budget share.
+		share := sys.PartitionTime(1).Seconds() / horizon.Seconds()
+		if share > 0.2+1e-9 {
+			t.Errorf("%s: attacker CPU share %.4f exceeds its 20%% budget ratio", pol.Name(), share)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package eventq implements a deterministic priority queue of timed events
+// for discrete-event simulation. Events with equal timestamps are delivered
+// in insertion order (FIFO), which keeps simulations reproducible regardless
+// of heap internals.
+package eventq
+
+import "timedice/internal/vtime"
+
+// Queue is a min-heap of values keyed by (time, insertion sequence).
+// The zero value is an empty, ready-to-use queue.
+type Queue[T any] struct {
+	items []entry[T]
+	seq   uint64
+}
+
+type entry[T any] struct {
+	at  vtime.Time
+	seq uint64
+	val T
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push schedules val at instant at.
+func (q *Queue[T]) Push(at vtime.Time, val T) {
+	q.items = append(q.items, entry[T]{at: at, seq: q.seq, val: val})
+	q.seq++
+	q.up(len(q.items) - 1)
+}
+
+// PeekTime returns the timestamp of the earliest event, or vtime.Infinity if
+// the queue is empty.
+func (q *Queue[T]) PeekTime() vtime.Time {
+	if len(q.items) == 0 {
+		return vtime.Infinity
+	}
+	return q.items[0].at
+}
+
+// Pop removes and returns the earliest event. ok is false if the queue is
+// empty.
+func (q *Queue[T]) Pop() (at vtime.Time, val T, ok bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return vtime.Infinity, zero, false
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top.at, top.val, true
+}
+
+// PopUntil removes and returns all events with timestamp <= t, in order.
+func (q *Queue[T]) PopUntil(t vtime.Time) []T {
+	var out []T
+	for len(q.items) > 0 && q.items[0].at <= t {
+		_, v, _ := q.Pop()
+		out = append(out, v)
+	}
+	return out
+}
+
+// Reset discards all pending events.
+func (q *Queue[T]) Reset() {
+	q.items = q.items[:0]
+	q.seq = 0
+}
+
+func (q *Queue[T]) less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,127 @@
+package eventq
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"timedice/internal/rng"
+	"timedice/internal/vtime"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[int]
+	if q.Len() != 0 {
+		t.Error("new queue not empty")
+	}
+	if q.PeekTime() != vtime.Infinity {
+		t.Error("empty PeekTime should be Infinity")
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop on empty should report !ok")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	var q Queue[string]
+	q.Push(vtime.Time(30), "c")
+	q.Push(vtime.Time(10), "a")
+	q.Push(vtime.Time(20), "b")
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		_, v, ok := q.Pop()
+		if !ok || v != w {
+			t.Fatalf("pop = %q, want %q", v, w)
+		}
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(vtime.Time(5), i)
+	}
+	for i := 0; i < 100; i++ {
+		_, v, _ := q.Pop()
+		if v != i {
+			t.Fatalf("equal-time events out of insertion order: got %d at pos %d", v, i)
+		}
+	}
+}
+
+func TestPopUntil(t *testing.T) {
+	var q Queue[int]
+	for i := 1; i <= 10; i++ {
+		q.Push(vtime.Time(i*10), i)
+	}
+	got := q.PopUntil(vtime.Time(35))
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("PopUntil(35) = %v", got)
+	}
+	if q.Len() != 7 {
+		t.Errorf("remaining %d, want 7", q.Len())
+	}
+	if q.PeekTime() != vtime.Time(40) {
+		t.Errorf("next at %v, want 40us", q.PeekTime())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var q Queue[int]
+	q.Push(1, 1)
+	q.Reset()
+	if q.Len() != 0 || q.PeekTime() != vtime.Infinity {
+		t.Error("Reset did not clear the queue")
+	}
+}
+
+func TestHeapPropertyRandomized(t *testing.T) {
+	f := func(times []int16) bool {
+		var q Queue[int]
+		sorted := make([]int64, len(times))
+		for i, tm := range times {
+			at := int64(tm) + 40000
+			q.Push(vtime.Time(at), i)
+			sorted[i] = at
+		}
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		for _, want := range sorted {
+			at, _, ok := q.Pop()
+			if !ok || int64(at) != want {
+				return false
+			}
+		}
+		_, _, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	r := rng.New(99)
+	var q Queue[int64]
+	var last vtime.Time
+	pushed, popped := 0, 0
+	for step := 0; step < 10000; step++ {
+		if q.Len() == 0 || r.Bool(0.6) {
+			at := last.Add(vtime.Duration(r.Intn(100)))
+			q.Push(at, int64(at))
+			pushed++
+		} else {
+			at, v, _ := q.Pop()
+			if vtime.Time(v) != at {
+				t.Fatal("payload mismatch")
+			}
+			if at < last {
+				t.Fatalf("time went backwards: %v after %v", at, last)
+			}
+			last = at
+			popped++
+		}
+	}
+	if pushed == 0 || popped == 0 {
+		t.Fatal("degenerate run")
+	}
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"io"
+
+	"timedice/internal/covert"
+	"timedice/internal/engine"
+	"timedice/internal/model"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+	"timedice/internal/server"
+	"timedice/internal/vtime"
+	"timedice/internal/workload"
+)
+
+// AblationResult collects the sensitivity studies for the design choices
+// DESIGN.md calls out: the randomization quantum (MIN_INV_SIZE), the budget
+// server policy, the selection mode, and the multi-bit channel extension.
+type AblationResult struct {
+	Quantum   []QuantumPoint
+	Servers   []ServerPoint
+	Selection []SelectionPoint
+	Levels    []LevelPoint
+	Noise     []NoisePoint
+}
+
+// QuantumPoint measures the security/overhead trade-off of one quantum size.
+type QuantumPoint struct {
+	Quantum         vtime.Duration
+	RTAccuracy      float64
+	Capacity        float64
+	DecisionsPerSec float64
+}
+
+// ServerPoint measures the channel under one budget-server policy.
+type ServerPoint struct {
+	Server     server.Policy
+	RTAccuracy float64
+	Capacity   float64
+}
+
+// SelectionPoint compares TimeDiceU vs TimeDiceW per load.
+type SelectionPoint struct {
+	Policy     policies.Kind
+	Load       Load
+	RTAccuracy float64
+	Capacity   float64
+}
+
+// LevelPoint measures the multi-bit extension: symbol accuracy and the
+// resulting bit rate (symbols carry log2(levels) bits).
+type LevelPoint struct {
+	Levels    int
+	Accuracy  float64
+	GuessRate float64
+}
+
+// NoisePoint measures channel strength against the noise partitions' timing
+// variation, under both schedulers.
+type NoisePoint struct {
+	Fraction          float64
+	NoRandomAccuracy  float64
+	TimeDiceWAccuracy float64
+	NoRandomCapacity  float64
+	TimeDiceWCapacity float64
+}
+
+// Ablation runs all four sweeps at the given scale.
+func Ablation(sc Scale, w io.Writer) (*AblationResult, error) {
+	sc = sc.withDefaults()
+	res := &AblationResult{}
+
+	fprintf(w, "Ablation 1: randomization quantum (MIN_INV_SIZE), light load, TimeDiceW\n")
+	fprintf(w, "%-10s %9s %9s %12s\n", "quantum", "RT acc", "capacity", "decisions/s")
+	for _, q := range []vtime.Duration{vtime.FromFloatMS(0.5), vtime.MS(1), vtime.MS(2), vtime.MS(4)} {
+		cfg := channelConfig(LightLoad, policies.TimeDiceW, sc)
+		cfg.Quantum = q
+		run, err := covert.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt := QuantumPoint{
+			Quantum:    q,
+			RTAccuracy: run.RTAccuracy,
+			Capacity:   run.Capacity,
+		}
+		pt.DecisionsPerSec, err = decisionRate(workload.TableILight(), q, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Quantum = append(res.Quantum, pt)
+		fprintf(w, "%-10v %8.2f%% %9.3f %12.1f\n", q, 100*pt.RTAccuracy, pt.Capacity, pt.DecisionsPerSec)
+	}
+
+	fprintf(w, "\nAblation 2: budget-server policy, base load, NoRandom (channel strength)\n")
+	fprintf(w, "%-12s %9s %9s\n", "server", "RT acc", "capacity")
+	for _, srv := range []server.Policy{server.Polling, server.Deferrable, server.Sporadic} {
+		cfg := channelConfig(BaseLoad, policies.NoRandom, sc)
+		cfg.Servers = srv
+		run, err := covert.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt := ServerPoint{Server: srv, RTAccuracy: run.RTAccuracy, Capacity: run.Capacity}
+		res.Servers = append(res.Servers, pt)
+		fprintf(w, "%-12s %8.2f%% %9.3f\n", srv, 100*pt.RTAccuracy, pt.Capacity)
+	}
+
+	fprintf(w, "\nAblation 3: uniform vs weighted selection (Theorem 1)\n")
+	fprintf(w, "%-10s %-11s %9s %9s\n", "policy", "load", "RT acc", "capacity")
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		for _, kind := range []policies.Kind{policies.TimeDiceU, policies.TimeDiceW} {
+			cfg := channelConfig(load, kind, sc)
+			run, err := covert.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt := SelectionPoint{Policy: kind, Load: load, RTAccuracy: run.RTAccuracy, Capacity: run.Capacity}
+			res.Selection = append(res.Selection, pt)
+			fprintf(w, "%-10s %-11s %8.2f%% %9.3f\n", kind, load, 100*pt.RTAccuracy, pt.Capacity)
+		}
+	}
+
+	fprintf(w, "\nAblation 4: multi-bit channel (§III-a's multiple response-time levels), NoRandom base load\n")
+	fprintf(w, "%-8s %10s %10s\n", "levels", "accuracy", "guess")
+	for _, levels := range []int{2, 4, 8} {
+		cfg := channelConfig(BaseLoad, policies.NoRandom, sc)
+		cfg.Levels = levels
+		run, err := covert.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pt := LevelPoint{Levels: levels, Accuracy: run.RTAccuracy, GuessRate: 1 / float64(levels)}
+		res.Levels = append(res.Levels, pt)
+		fprintf(w, "%-8d %9.2f%% %9.2f%%\n", levels, 100*pt.Accuracy, 100*pt.GuessRate)
+	}
+
+	fprintf(w, "\nAblation 5: noise sensitivity (noise partitions' timing variation)\n")
+	fprintf(w, "%-8s %12s %12s %10s %10s\n", "noise", "NR acc", "TDW acc", "NR cap", "TDW cap")
+	for _, frac := range []float64{0.05, 0.10, 0.20, 0.40} {
+		pt := NoisePoint{Fraction: frac}
+		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
+			cfg := channelConfig(BaseLoad, kind, sc)
+			cfg.NoiseFraction = frac
+			run, err := covert.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if kind == policies.NoRandom {
+				pt.NoRandomAccuracy, pt.NoRandomCapacity = run.RTAccuracy, run.Capacity
+			} else {
+				pt.TimeDiceWAccuracy, pt.TimeDiceWCapacity = run.RTAccuracy, run.Capacity
+			}
+		}
+		res.Noise = append(res.Noise, pt)
+		fprintf(w, "%-8.2f %11.2f%% %11.2f%% %10.3f %10.3f\n",
+			frac, 100*pt.NoRandomAccuracy, 100*pt.TimeDiceWAccuracy, pt.NoRandomCapacity, pt.TimeDiceWCapacity)
+	}
+	return res, nil
+}
+
+// decisionRate measures the scheduling-decision rate of TimeDiceW with a
+// given quantum on spec over two simulated seconds.
+func decisionRate(spec model.SystemSpec, q vtime.Duration, seed uint64) (float64, error) {
+	built, err := spec.Build()
+	if err != nil {
+		return 0, err
+	}
+	pol, err := policies.Build(policies.TimeDiceW, built.Partitions, policies.Options{Quantum: q})
+	if err != nil {
+		return 0, err
+	}
+	sys, err := engine.New(built.Partitions, pol, rng.New(seed))
+	if err != nil {
+		return 0, err
+	}
+	const dur = 2 * vtime.Second
+	sys.Run(vtime.Time(dur))
+	return float64(sys.Counters.Decisions) / dur.Seconds(), nil
+}

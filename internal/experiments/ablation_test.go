@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestAblationShapes(t *testing.T) {
+	sc := Scale{ProfileWindows: 150, TestWindows: 300, SimSeconds: 5, Seed: 1}
+	res, err := Ablation(sc, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quantum sweep: decision rate decreases monotonically with quantum size
+	// (fewer randomization points per second).
+	if len(res.Quantum) != 4 {
+		t.Fatalf("quantum points = %d", len(res.Quantum))
+	}
+	for i := 1; i < len(res.Quantum); i++ {
+		if res.Quantum[i].DecisionsPerSec >= res.Quantum[i-1].DecisionsPerSec {
+			t.Errorf("decisions/s should fall with quantum: %v -> %v at %v",
+				res.Quantum[i-1].DecisionsPerSec, res.Quantum[i].DecisionsPerSec, res.Quantum[i].Quantum)
+		}
+	}
+
+	// Server sweep: all three run; the deferrable server (budget retained
+	// for mid-period arrivals) carries the strongest channel in the
+	// phase-locked simulation.
+	if len(res.Servers) != 3 {
+		t.Fatalf("server points = %d", len(res.Servers))
+	}
+	var polling, deferrable float64
+	for _, p := range res.Servers {
+		switch p.Server.String() {
+		case "polling":
+			polling = p.RTAccuracy
+		case "deferrable":
+			deferrable = p.RTAccuracy
+		}
+	}
+	if deferrable <= polling {
+		t.Errorf("deferrable channel accuracy %.3f should exceed polling %.3f", deferrable, polling)
+	}
+
+	// Selection sweep: four cells, every TimeDice variant far below the
+	// NoRandom baselines established elsewhere.
+	if len(res.Selection) != 4 {
+		t.Fatalf("selection points = %d", len(res.Selection))
+	}
+	for _, p := range res.Selection {
+		if p.RTAccuracy > 0.80 {
+			t.Errorf("%v/%v accuracy %.3f — randomization ineffective", p.Policy, p.Load, p.RTAccuracy)
+		}
+	}
+
+	// Levels sweep: accuracy decreases with alphabet size but stays above
+	// guessing.
+	if len(res.Levels) != 3 {
+		t.Fatalf("level points = %d", len(res.Levels))
+	}
+	for i, p := range res.Levels {
+		if p.Accuracy < p.GuessRate+0.1 {
+			t.Errorf("levels=%d accuracy %.3f barely above guess %.3f", p.Levels, p.Accuracy, p.GuessRate)
+		}
+		if i > 0 && p.Accuracy > res.Levels[i-1].Accuracy+0.05 {
+			t.Errorf("accuracy should not grow with alphabet size: %v", res.Levels)
+		}
+	}
+
+	// Noise sweep: TimeDice stays well below NoRandom at every noise level,
+	// and heavy noise weakens the NoRandom channel.
+	if len(res.Noise) != 4 {
+		t.Fatalf("noise points = %d", len(res.Noise))
+	}
+	for _, p := range res.Noise {
+		if p.TimeDiceWAccuracy > p.NoRandomAccuracy-0.05 {
+			t.Errorf("noise %.2f: TDW %.3f vs NR %.3f — mitigation lost", p.Fraction, p.TimeDiceWAccuracy, p.NoRandomAccuracy)
+		}
+	}
+	lowNoise, highNoise := res.Noise[0], res.Noise[len(res.Noise)-1]
+	if highNoise.NoRandomCapacity > lowNoise.NoRandomCapacity+0.05 {
+		t.Errorf("NoRandom capacity should not grow with noise: %.3f -> %.3f",
+			lowNoise.NoRandomCapacity, highNoise.NoRandomCapacity)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"io"
+
+	"timedice/internal/detect"
+	"timedice/internal/engine"
+	"timedice/internal/model"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+	"timedice/internal/server"
+	"timedice/internal/vtime"
+)
+
+// DetectionRow reports the monitor's verdict for one policy: the ranking of
+// partitions by budget-modulation score, and whether the true sender was
+// flagged first.
+type DetectionRow struct {
+	Policy      policies.Kind
+	Ranking     []detect.Ranking
+	SenderFirst bool
+	SenderScore float64
+	RunnerUp    float64 // best non-sender score
+}
+
+// DetectionResult holds both policies' rows.
+type DetectionResult struct {
+	Rows []DetectionRow
+}
+
+// Detection runs the feasibility channel and applies the defender-side
+// consumption monitor (internal/detect): the sender's full/minimal budget
+// alternation is flagged under NoRandom AND under TimeDice — randomizing
+// WHEN partitions run does not hide HOW MUCH they chose to consume, so
+// mitigation and detection compose.
+func Detection(sc Scale, w io.Writer) (*DetectionResult, error) {
+	sc = sc.withDefaults()
+	res := &DetectionResult{}
+	fprintf(w, "Defender-side sender detection (budget-modulation bimodality)\n")
+	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
+		row, err := detectionRun(kind, sc)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		fprintf(w, "%-10s sender-first=%v scores:", kind, row.SenderFirst)
+		for _, r := range row.Ranking {
+			fprintf(w, " %s=%.3f", r.Partition, r.Score)
+		}
+		fprintf(w, "\n")
+	}
+	return res, nil
+}
+
+func detectionRun(kind policies.Kind, sc Scale) (DetectionRow, error) {
+	spec := BaseLoad.Spec()
+	parts := make([]model.PartitionSpec, len(spec.Partitions))
+	copy(parts, spec.Partitions)
+	for i := range parts {
+		parts[i].Server = server.Deferrable
+	}
+	const senderIdx = 1
+	window := 3 * parts[3].Period
+	sBudget := parts[senderIdx].Budget
+	parts[senderIdx].Tasks = []model.TaskSpec{{Name: "sender", Period: window / 3, WCET: sBudget}}
+	spec.Partitions = parts
+
+	root := rng.New(sc.Seed)
+	bits := make([]int, sc.TestWindows+4)
+	for i := range bits {
+		bits[i] = root.Bit()
+	}
+
+	built, err := spec.Build()
+	if err != nil {
+		return DetectionRow{}, err
+	}
+	sender := built.Task[model.TaskKey(parts[senderIdx].Name, "sender")]
+	sender.ExecFn = func(_ int64, arrival vtime.Time) vtime.Duration {
+		wdx := int(arrival / vtime.Time(window))
+		if wdx >= len(bits) {
+			wdx = len(bits) - 1
+		}
+		if bits[wdx] == 1 {
+			return sBudget
+		}
+		return 10 * vtime.Microsecond
+	}
+	// Noise partitions jitter as in the channel experiments.
+	for pi, ps := range parts {
+		if pi == senderIdx {
+			continue
+		}
+		for _, ts := range ps.Tasks {
+			tk := built.Task[model.TaskKey(ps.Name, ts.Name)]
+			wcet, period := tk.WCET, tk.Period
+			nr := root.Split()
+			tk.ExecFn = func(int64, vtime.Time) vtime.Duration {
+				return vtime.Duration(float64(wcet) * (1 - 0.2*nr.Float64()))
+			}
+			tk.PeriodFn = func(int64, vtime.Time) vtime.Duration {
+				return vtime.Duration(float64(period) * (1 + 0.2*nr.Float64()))
+			}
+		}
+	}
+
+	pol, err := policies.Build(kind, built.Partitions, policies.Options{})
+	if err != nil {
+		return DetectionRow{}, err
+	}
+	sys, err := engine.New(built.Partitions, pol, root.Split())
+	if err != nil {
+		return DetectionRow{}, err
+	}
+	obs := detect.NewConsumptionObserver(spec)
+	sys.TraceFn = obs.Hook()
+	sys.Run(vtime.Time(vtime.Duration(len(bits)) * window))
+
+	row := DetectionRow{Policy: kind, Ranking: obs.Rank()}
+	senderName := parts[senderIdx].Name
+	row.SenderFirst = row.Ranking[0].Partition == senderName
+	for _, r := range row.Ranking {
+		if r.Partition == senderName {
+			row.SenderScore = r.Score
+		} else if r.Score > row.RunnerUp {
+			row.RunnerUp = r.Score
+		}
+	}
+	return row, nil
+}

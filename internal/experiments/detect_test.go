@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestDetectionFlagsSenderUnderBothPolicies(t *testing.T) {
+	res, err := Detection(Scale{TestWindows: 400, Seed: 1}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.SenderFirst {
+			t.Errorf("%v: sender not ranked first: %+v", row.Policy, row.Ranking)
+		}
+		if row.SenderScore < row.RunnerUp+0.15 {
+			t.Errorf("%v: sender score %.3f too close to runner-up %.3f",
+				row.Policy, row.SenderScore, row.RunnerUp)
+		}
+	}
+	// Detection is policy-invariant: TimeDice randomizes WHEN the sender
+	// runs, not HOW MUCH it consumes per period.
+	if d := res.Rows[0].SenderScore - res.Rows[1].SenderScore; d > 0.1 || d < -0.1 {
+		t.Errorf("sender score should be stable across policies: %.3f vs %.3f",
+			res.Rows[0].SenderScore, res.Rows[1].SenderScore)
+	}
+}

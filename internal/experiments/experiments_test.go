@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"timedice/internal/policies"
+)
+
+// tiny returns a scale small enough for unit tests while preserving shapes.
+func tiny() Scale {
+	return Scale{ProfileWindows: 200, TestWindows: 400, SimSeconds: 10, Seed: 1}
+}
+
+func TestFig04ChannelWorks(t *testing.T) {
+	res, err := Fig04(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Separation < 0.5 {
+		t.Errorf("profile separation %.3f, want clearly separated under NoRandom", res.Separation)
+	}
+	if res.DensityDistance < 0.05 {
+		t.Errorf("heatmap density distance %.3f, want visible pattern difference", res.DensityDistance)
+	}
+	if len(res.Accuracy) != 8 {
+		t.Fatalf("accuracy points = %d, want 8", len(res.Accuracy))
+	}
+	// At the largest profile size, both loads decode far above chance, and
+	// accuracy grows (weakly) with profiling effort.
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		var first, last float64
+		n := 0
+		for _, pt := range res.Accuracy {
+			if pt.Load != load {
+				continue
+			}
+			if n == 0 {
+				first = pt.RTAccuracy
+			}
+			last = pt.RTAccuracy
+			n++
+		}
+		if last < 0.75 {
+			t.Errorf("%v: final RT accuracy %.3f, want >= 0.75", load, last)
+		}
+		if last+0.1 < first {
+			t.Errorf("%v: accuracy degraded with more profiling (%.3f -> %.3f)", load, first, last)
+		}
+	}
+}
+
+func TestFig12MitigationShape(t *testing.T) {
+	res, err := Fig12(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		nr, ok1 := res.Cell(policies.NoRandom, load)
+		tdw, ok2 := res.Cell(policies.TimeDiceW, load)
+		tdu, ok3 := res.Cell(policies.TimeDiceU, load)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatal("missing cells")
+		}
+		// TimeDice must knock accuracy down substantially from NoRandom.
+		if tdw.RTAccuracy > nr.RTAccuracy-0.15 {
+			t.Errorf("%v: TimeDiceW RT accuracy %.3f vs NoRandom %.3f — insufficient mitigation",
+				load, tdw.RTAccuracy, nr.RTAccuracy)
+		}
+		if tdu.RTAccuracy > nr.RTAccuracy-0.10 {
+			t.Errorf("%v: TimeDiceU RT accuracy %.3f vs NoRandom %.3f", load, tdu.RTAccuracy, nr.RTAccuracy)
+		}
+		// Capacity collapses under randomization.
+		if tdw.Capacity > nr.Capacity/2 {
+			t.Errorf("%v: TimeDiceW capacity %.3f vs NoRandom %.3f", load, tdw.Capacity, nr.Capacity)
+		}
+	}
+	// TimeDice pushes light-load accuracy close to a random guess (§V-B1:
+	// "not significantly better than a random guess").
+	tdwLight, _ := res.Cell(policies.TimeDiceW, LightLoad)
+	if tdwLight.RTAccuracy > 0.72 {
+		t.Errorf("TimeDiceW light-load RT accuracy %.3f, want near chance", tdwLight.RTAccuracy)
+	}
+}
+
+func TestFig13HeatmapCollapse(t *testing.T) {
+	res, err := Fig13(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeDiceWDistance >= res.NoRandomDistance {
+		t.Errorf("TimeDiceW density distance %.4f should be below NoRandom %.4f",
+			res.TimeDiceWDistance, res.NoRandomDistance)
+	}
+	if res.Heatmap == "" {
+		t.Error("missing heatmap sample")
+	}
+}
+
+func TestFig14DistributionShapes(t *testing.T) {
+	res, err := Fig14(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, _ := res.Row(policies.NoRandom)
+	tdu, _ := res.Row(policies.TimeDiceU)
+	tdw, _ := res.Row(policies.TimeDiceW)
+	if tdu.Separation >= nr.Separation {
+		t.Errorf("TimeDiceU separation %.3f should be below NoRandom %.3f", tdu.Separation, nr.Separation)
+	}
+	if tdw.Separation >= nr.Separation {
+		t.Errorf("TimeDiceW separation %.3f should be below NoRandom %.3f", tdw.Separation, nr.Separation)
+	}
+	// TimeDice widens the response-time support (more uncertainty).
+	if tdw.Spread <= nr.Spread {
+		t.Errorf("TimeDiceW support %d bins should exceed NoRandom %d", tdw.Spread, nr.Spread)
+	}
+}
+
+func TestFig15CapacityOrdering(t *testing.T) {
+	res, err := Fig15(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		nr, _ := res.Bar(policies.NoRandom, load)
+		tdw, _ := res.Bar(policies.TimeDiceW, load)
+		tdma, _ := res.Bar(policies.TDMA, load)
+		if nr < 0.5 {
+			t.Errorf("%v: NoRandom capacity %.3f, want high", load, nr)
+		}
+		if tdw > nr/2 {
+			t.Errorf("%v: TimeDiceW capacity %.3f vs NoRandom %.3f", load, tdw, nr)
+		}
+		if tdma > 0.05 {
+			t.Errorf("%v: TDMA capacity %.3f, want ≈0 (static partitioning removes the channel)", load, tdma)
+		}
+	}
+}
+
+func TestFig06Traces(t *testing.T) {
+	res, err := Fig06(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.NoRandomGantt, "P1") || !strings.Contains(res.TimeDiceGantt, "P3") {
+		t.Error("gantt output missing partitions")
+	}
+	if res.TimeDiceSwitches <= res.NoRandomSwitches {
+		t.Errorf("TimeDice switches %d should exceed NoRandom %d",
+			res.TimeDiceSwitches, res.NoRandomSwitches)
+	}
+}
+
+func TestFig16ResponseTimes(t *testing.T) {
+	res, err := Fig16(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NoRandom.Tasks) != 25 || len(res.TimeDice.Tasks) != 25 {
+		t.Fatalf("task counts: %d / %d", len(res.NoRandom.Tasks), len(res.TimeDice.Tasks))
+	}
+	widened := 0
+	for i, n := range res.NoRandom.Tasks {
+		td := res.TimeDice.Tasks[i]
+		if n.Misses > 0 || td.Misses > 0 {
+			t.Errorf("task %s missed deadlines: NR=%d TD=%d", n.Task, n.Misses, td.Misses)
+		}
+		nb, tb := n.Box(), td.Box()
+		if tb.Max-tb.Min > nb.Max-nb.Min {
+			widened++
+		}
+	}
+	// "the range of response times is likely to extend with TimeDice" — most
+	// tasks should show a wider spread.
+	if widened < 15 {
+		t.Errorf("only %d/25 tasks widened their response-time range under TimeDice", widened)
+	}
+}
+
+func TestTable02EmpiricalWithinAnalytic(t *testing.T) {
+	res, err := Table02(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 25 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	spec := BaseLoad.Spec()
+	for i, row := range res.Rows {
+		if !row.SchedulableNR || !row.SchedulableTD {
+			t.Errorf("%s: reported unschedulable", row.Task)
+		}
+		// Soundness: the simulator has zero kernel overhead, so empirical
+		// WCRTs must not exceed the analytic bounds — up to the polling
+		// server's idle-discard slack. The analyses (and the paper's
+		// Table II) model the critical instant as "budget depleted by
+		// execution as early as possible" (initial delay T−B); a polling
+		// server that DISCARDS budget at an idle replenishment makes a job
+		// arriving just afterwards wait up to T, i.e. up to B_i longer.
+		// The paper observed the same small excess empirically (τ1,1).
+		slack := spec.Partitions[i/5].Budget.Milliseconds()
+		if row.EmpirNR > row.AnalNR.Milliseconds()+slack {
+			t.Errorf("%s: empirical NR %.3f exceeds analytic %.3f + discard slack %.3f",
+				row.Task, row.EmpirNR, row.AnalNR.Milliseconds(), slack)
+		}
+		if row.EmpirTD > row.AnalTD.Milliseconds()+slack {
+			t.Errorf("%s: empirical TD %.3f exceeds analytic %.3f + discard slack %.3f",
+				row.Task, row.EmpirTD, row.AnalTD.Milliseconds(), slack)
+		}
+		// TimeDice's analytic WCRT dominates NoRandom's.
+		if row.AnalTD < row.AnalNR {
+			t.Errorf("%s: TD analytic below NR analytic", row.Task)
+		}
+	}
+}
+
+func TestTable03CarStaysSchedulable(t *testing.T) {
+	res, err := Table03(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (logger excluded)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.MissesNR > 0 || row.MissesTD > 0 {
+			t.Errorf("%s: deadline misses NR=%d TD=%d", row.App, row.MissesNR, row.MissesTD)
+		}
+		if row.TD.Avg < row.NR.Avg {
+			t.Logf("%s: TD avg %.2f below NR avg %.2f (allowed, but unusual)", row.App, row.TD.Avg, row.NR.Avg)
+		}
+		if row.TD.Max > row.Deadline.Milliseconds() {
+			t.Errorf("%s: TD max %.2f exceeds deadline %v", row.App, row.TD.Max, row.Deadline)
+		}
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	sc := tiny()
+	sc.SimSeconds = 5
+	res, err := Overhead(sc, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	for _, n := range []int{5, 10, 20} {
+		nr, ok1 := res.Row(n, policies.NoRandom)
+		td, ok2 := res.Row(n, policies.TimeDiceW)
+		if !ok1 || !ok2 {
+			t.Fatal("missing rows")
+		}
+		// Randomization makes decisions and switches more frequent (Table V).
+		if td.DecisionsPerSec <= nr.DecisionsPerSec {
+			t.Errorf("|Pi|=%d: TD decisions/s %.0f <= NR %.0f", n, td.DecisionsPerSec, nr.DecisionsPerSec)
+		}
+		if td.SwitchesPerSec <= nr.SwitchesPerSec {
+			t.Errorf("|Pi|=%d: TD switches/s %.0f <= NR %.0f", n, td.SwitchesPerSec, nr.SwitchesPerSec)
+		}
+		// The search is bounded by one test per partition per decision.
+		if td.SchedTestsPerDecision > float64(n) {
+			t.Errorf("|Pi|=%d: %.2f tests/decision exceeds |Pi|", n, td.SchedTestsPerDecision)
+		}
+	}
+	// Per-decision latency grows with system size (Table IV trend).
+	td5, _ := res.Row(5, policies.TimeDiceW)
+	td20, _ := res.Row(20, policies.TimeDiceW)
+	if td20.P50 < td5.P50 {
+		t.Errorf("median decision latency should grow with |Pi|: 5→%.3fus, 20→%.3fus", td5.P50, td20.P50)
+	}
+}
+
+func TestFig18BlinderComparison(t *testing.T) {
+	res, err := Fig18(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrderNoDefense < 0.95 {
+		t.Errorf("order channel without defense: %.3f", res.OrderNoDefense)
+	}
+	if res.OrderBlinder > 0.62 {
+		t.Errorf("BLINDER should close the order channel, got %.3f", res.OrderBlinder)
+	}
+	if res.ResponseBlinder < 0.9 {
+		t.Errorf("BLINDER must NOT close the time channel, got %.3f", res.ResponseBlinder)
+	}
+	if res.OrderTimeDice > 0.85 {
+		t.Errorf("TimeDice should degrade the order channel, got %.3f", res.OrderTimeDice)
+	}
+	if res.PaperChannelBlinder < 0.75 {
+		t.Errorf("paper's channel under BLINDER should stay decodable, got %.3f", res.PaperChannelBlinder)
+	}
+}
+
+func TestCarChannelMitigation(t *testing.T) {
+	res, err := CarChannel(tiny(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoRandomAccuracy < 0.85 {
+		t.Errorf("car channel NoRandom accuracy %.3f, want high (paper: 95.23%%)", res.NoRandomAccuracy)
+	}
+	// The clean simulator leaves the SVM more residual signal than the
+	// paper's noisy platform (they reach 56%); the reproducible shape is a
+	// clear drop in accuracy and a collapse in capacity.
+	if res.TimeDiceAccuracy > res.NoRandomAccuracy-0.04 {
+		t.Errorf("car channel TimeDice accuracy %.3f vs NoRandom %.3f — insufficient drop",
+			res.TimeDiceAccuracy, res.NoRandomAccuracy)
+	}
+	if res.TimeDiceCapacity > 0.8*res.NoRandomCapacity {
+		t.Errorf("car channel TimeDice capacity %.3f vs NoRandom %.3f — insufficient drop",
+			res.TimeDiceCapacity, res.NoRandomCapacity)
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	var s Scale
+	d := s.withDefaults()
+	if d.ProfileWindows == 0 || d.TestWindows == 0 || d.SimSeconds == 0 || d.Seed == 0 {
+		t.Error("defaults not applied")
+	}
+	if Full().TestWindows != 10000 {
+		t.Error("Full scale should use the paper's 10,000 test samples")
+	}
+	if Quick().TestWindows <= 0 {
+		t.Error("quick scale broken")
+	}
+}
+
+func TestLoadSpec(t *testing.T) {
+	if BaseLoad.String() != "Base load" || LightLoad.String() != "Light load" {
+		t.Error("load names")
+	}
+	if BaseLoad.Spec().Utilization() <= LightLoad.Spec().Utilization() {
+		t.Error("base load must exceed light load")
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"io"
+
+	"timedice/internal/covert"
+	"timedice/internal/policies"
+	"timedice/internal/stats"
+	"timedice/internal/trace"
+)
+
+// Fig04Result reproduces Fig. 4 of the paper: the feasibility of the covert
+// timing channel under the default (NoRandom) scheduler.
+type Fig04Result struct {
+	// Hist, Hist0, Hist1 are Pr(R), Pr(R|X=0) and Pr(R|X=1) from the
+	// profiling phase (Fig. 4a).
+	Hist, Hist0, Hist1 *stats.Histogram
+	// Separation is the total-variation distance between the two profiles.
+	Separation float64
+	// Vectors/Labels are the execution vectors of the profile phase
+	// (Fig. 4b); DensityDistance summarizes their distinguishability.
+	Vectors         [][]float64
+	Labels          []int
+	DensityDistance float64
+	// Accuracy holds the Fig. 4(c) series: decoding accuracy vs the number
+	// of profiling windows, for both loads and both receiver types.
+	Accuracy []Fig04AccuracyPoint
+}
+
+// Fig04AccuracyPoint is one point of the Fig. 4(c) curves.
+type Fig04AccuracyPoint struct {
+	Load            Load
+	ProfileWindows  int
+	RTAccuracy      float64
+	VectorAccuracy  float64
+	ChannelCapacity float64
+}
+
+// Fig04 runs the full feasibility experiment. The accuracy curve sweeps
+// profile-phase sizes {1/8, 1/4, 1/2, 1}·sc.ProfileWindows.
+func Fig04(sc Scale, w io.Writer) (*Fig04Result, error) {
+	sc = sc.withDefaults()
+	res := &Fig04Result{}
+
+	// (a)+(b): one base-load NoRandom run at full profile size.
+	cfg := channelConfig(BaseLoad, policies.NoRandom, sc)
+	run, err := covert.Run(cfg, defaultLearner())
+	if err != nil {
+		return nil, err
+	}
+	res.Hist0, res.Hist1 = run.Hist0, run.Hist1
+	res.Hist = stats.NewHistogram(res.Hist0.Lo, res.Hist0.Width, len(res.Hist0.Counts))
+	for _, ob := range run.Profile {
+		res.Hist.Add(ob.Response.Milliseconds())
+		res.Vectors = append(res.Vectors, ob.Vector)
+		res.Labels = append(res.Labels, ob.Label)
+	}
+	res.Separation = covert.Separation(res.Hist0, res.Hist1)
+	d0, d1 := trace.HeatmapDensity(res.Vectors, res.Labels)
+	res.DensityDistance = trace.DensityDistance(d0, d1)
+
+	fprintf(w, "Fig 4(a): receiver response-time distribution, NoRandom, base load\n")
+	fprintf(w, "Pr(R):\n%s", res.Hist.Render(40))
+	fprintf(w, "separation TV(Pr(R|X=0), Pr(R|X=1)) = %.3f\n\n", res.Separation)
+	fprintf(w, "Fig 4(b): execution-vector heatmap (first 24 windows)\n%s",
+		trace.Heatmap(res.Vectors, res.Labels, 24))
+	fprintf(w, "column-density distance between X=0 and X=1: %.3f\n\n", res.DensityDistance)
+
+	// (c): accuracy vs profiling windows for both loads.
+	fprintf(w, "Fig 4(c): channel accuracy vs #profiling windows (NoRandom)\n")
+	fprintf(w, "%-12s %8s %10s %10s %10s\n", "load", "profile", "RT acc", "vec acc", "capacity")
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		for _, frac := range []int{8, 4, 2, 1} {
+			p := sc.ProfileWindows / frac
+			if p < 16 {
+				p = 16
+			}
+			cfg := channelConfig(load, policies.NoRandom, sc)
+			cfg.ProfileWindows = p
+			run, err := covert.Run(cfg, defaultLearner())
+			if err != nil {
+				return nil, err
+			}
+			pt := Fig04AccuracyPoint{
+				Load:            load,
+				ProfileWindows:  p,
+				RTAccuracy:      run.RTAccuracy,
+				VectorAccuracy:  run.VecAccuracy[defaultLearner().Name()],
+				ChannelCapacity: run.Capacity,
+			}
+			res.Accuracy = append(res.Accuracy, pt)
+			fprintf(w, "%-12s %8d %9.2f%% %9.2f%% %10.3f\n",
+				pt.Load, pt.ProfileWindows, 100*pt.RTAccuracy, 100*pt.VectorAccuracy, pt.ChannelCapacity)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"io"
+
+	"timedice/internal/covert"
+	"timedice/internal/policies"
+	"timedice/internal/trace"
+)
+
+// Fig12Cell is one cell of the Fig. 12 grid: one policy × load × profile
+// size, with both receiver types.
+type Fig12Cell struct {
+	Policy         policies.Kind
+	Load           Load
+	ProfileWindows int
+	RTAccuracy     float64
+	VectorAccuracy float64
+	Capacity       float64
+	Separation     float64
+}
+
+// Fig12Result holds the whole mitigation grid (and doubles as the data
+// source for Fig. 15, which plots the Capacity column).
+type Fig12Result struct {
+	Cells []Fig12Cell
+}
+
+// Cell returns the cell for (policy, load) at the largest profile size.
+func (r *Fig12Result) Cell(k policies.Kind, l Load) (Fig12Cell, bool) {
+	var best Fig12Cell
+	found := false
+	for _, c := range r.Cells {
+		if c.Policy == k && c.Load == l && (!found || c.ProfileWindows > best.ProfileWindows) {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Fig12 measures the impact of TimeDice on covert-channel accuracy:
+// NoRandom vs TimeDiceU vs TimeDiceW, base and light load, response-time and
+// execution-vector receivers, as a function of profiling effort.
+func Fig12(sc Scale, w io.Writer) (*Fig12Result, error) {
+	sc = sc.withDefaults()
+	res := &Fig12Result{}
+	fprintf(w, "Fig 12: covert-channel accuracy under schedule randomization\n")
+	fprintf(w, "%-10s %-11s %8s %9s %9s %9s %7s\n",
+		"policy", "load", "profile", "RT acc", "vec acc", "capacity", "sep")
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
+			for _, frac := range []int{4, 1} {
+				p := sc.ProfileWindows / frac
+				if p < 16 {
+					p = 16
+				}
+				cfg := channelConfig(load, kind, sc)
+				cfg.ProfileWindows = p
+				run, err := covert.Run(cfg, defaultLearner())
+				if err != nil {
+					return nil, err
+				}
+				cell := Fig12Cell{
+					Policy:         kind,
+					Load:           load,
+					ProfileWindows: p,
+					RTAccuracy:     run.RTAccuracy,
+					VectorAccuracy: run.VecAccuracy[defaultLearner().Name()],
+					Capacity:       run.Capacity,
+					Separation:     covert.Separation(run.Hist0, run.Hist1),
+				}
+				res.Cells = append(res.Cells, cell)
+				fprintf(w, "%-10s %-11s %8d %8.2f%% %8.2f%% %9.3f %7.3f\n",
+					kind, load, p, 100*cell.RTAccuracy, 100*cell.VectorAccuracy, cell.Capacity, cell.Separation)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig13Result compares execution-vector heatmaps under TimeDice with the
+// NoRandom baseline of Fig. 4(b): the column-density distance collapses.
+type Fig13Result struct {
+	NoRandomDistance  float64
+	TimeDiceUDistance float64
+	TimeDiceWDistance float64
+	// Heatmap is a rendered sample of the TimeDiceW vectors.
+	Heatmap string
+}
+
+// Fig13 regenerates the Fig. 13 heatmaps (quantified by density distance).
+func Fig13(sc Scale, w io.Writer) (*Fig13Result, error) {
+	sc = sc.withDefaults()
+	res := &Fig13Result{}
+	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
+		cfg := channelConfig(BaseLoad, kind, sc)
+		run, err := covert.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		var vectors [][]float64
+		var labels []int
+		for _, ob := range run.Profile {
+			vectors = append(vectors, ob.Vector)
+			labels = append(labels, ob.Label)
+		}
+		d0, d1 := trace.HeatmapDensity(vectors, labels)
+		dist := trace.DensityDistance(d0, d1)
+		switch kind {
+		case policies.NoRandom:
+			res.NoRandomDistance = dist
+		case policies.TimeDiceU:
+			res.TimeDiceUDistance = dist
+		case policies.TimeDiceW:
+			res.TimeDiceWDistance = dist
+			res.Heatmap = trace.Heatmap(vectors, labels, 24)
+		}
+	}
+	fprintf(w, "Fig 13: execution-vector distinguishability (column-density distance)\n")
+	fprintf(w, "NoRandom : %.4f\nTimeDiceU: %.4f\nTimeDiceW: %.4f\n",
+		res.NoRandomDistance, res.TimeDiceUDistance, res.TimeDiceWDistance)
+	fprintf(w, "\nTimeDiceW heatmap sample:\n%s", res.Heatmap)
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"io"
+
+	"timedice/internal/covert"
+	"timedice/internal/policies"
+	"timedice/internal/stats"
+)
+
+// Fig14Row is one panel of Fig. 14: the receiver's profiled Pr(R|X)
+// distributions under one policy in the light-load configuration.
+type Fig14Row struct {
+	Policy       policies.Kind
+	Hist0, Hist1 *stats.Histogram
+	Separation   float64
+	// Spread is the number of distinct 1 ms response-time bins observed —
+	// TimeDice widens the support (the paper's "set of possible response
+	// times becomes larger").
+	Spread int
+}
+
+// Fig14Result holds the three panels.
+type Fig14Result struct {
+	Rows []Fig14Row
+}
+
+// Row returns the panel for a policy.
+func (r *Fig14Result) Row(k policies.Kind) (Fig14Row, bool) {
+	for _, row := range r.Rows {
+		if row.Policy == k {
+			return row, true
+		}
+	}
+	return Fig14Row{}, false
+}
+
+// Fig14 reproduces the light-load response-time distributions under
+// NoRandom, TimeDiceU and TimeDiceW.
+func Fig14(sc Scale, w io.Writer) (*Fig14Result, error) {
+	sc = sc.withDefaults()
+	res := &Fig14Result{}
+	fprintf(w, "Fig 14: Pr(R|X) in the light-load configuration\n")
+	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
+		cfg := channelConfig(LightLoad, kind, sc)
+		run, err := covert.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig14Row{
+			Policy:     kind,
+			Hist0:      run.Hist0,
+			Hist1:      run.Hist1,
+			Separation: covert.Separation(run.Hist0, run.Hist1),
+		}
+		for i := range row.Hist0.Counts {
+			if row.Hist0.Counts[i] > 0 || (i < len(row.Hist1.Counts) && row.Hist1.Counts[i] > 0) {
+				row.Spread++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		fprintf(w, "\n%s: separation=%.3f, support=%d bins\n", kind, row.Separation, row.Spread)
+		fprintf(w, "Pr(R|X=0):\n%s", row.Hist0.Render(30))
+		fprintf(w, "Pr(R|X=1):\n%s", row.Hist1.Render(30))
+	}
+	return res, nil
+}
+
+// Fig15Bar is one bar of Fig. 15: channel capacity per policy and load.
+type Fig15Bar struct {
+	Policy   policies.Kind
+	Load     Load
+	Capacity float64 // bits per monitoring window
+}
+
+// Fig15Result holds all bars.
+type Fig15Result struct {
+	Bars []Fig15Bar
+}
+
+// Bar returns the capacity for (policy, load).
+func (r *Fig15Result) Bar(k policies.Kind, l Load) (float64, bool) {
+	for _, b := range r.Bars {
+		if b.Policy == k && b.Load == l {
+			return b.Capacity, true
+		}
+	}
+	return 0, false
+}
+
+// Fig15 measures channel capacity (Eq. 6) for every policy × load, including
+// the TDMA reference whose capacity is structurally zero.
+func Fig15(sc Scale, w io.Writer) (*Fig15Result, error) {
+	sc = sc.withDefaults()
+	res := &Fig15Result{}
+	fprintf(w, "Fig 15: channel capacity in bits per monitoring window\n")
+	fprintf(w, "%-10s %-11s %9s\n", "policy", "load", "capacity")
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW, policies.TDMA} {
+			cfg := channelConfig(load, kind, sc)
+			run, err := covert.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			bar := Fig15Bar{Policy: kind, Load: load, Capacity: run.Capacity}
+			res.Bars = append(res.Bars, bar)
+			fprintf(w, "%-10s %-11s %9.3f\n", kind, load, bar.Capacity)
+		}
+	}
+	return res, nil
+}

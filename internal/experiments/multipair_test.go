@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"timedice/internal/policies"
+)
+
+func TestMultiPairConcurrentChannels(t *testing.T) {
+	results, err := MultiPairReport(Scale{TestWindows: 600, Seed: 1}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	var nr, td *MultiPairResult
+	for _, r := range results {
+		switch r.Policy {
+		case policies.NoRandom:
+			nr = r
+		case policies.TimeDiceW:
+			td = r
+		}
+	}
+	if nr == nil || td == nil {
+		t.Fatal("missing policies")
+	}
+	// The higher-priority pair decodes near-perfectly despite the second
+	// pair's concurrent modulation.
+	if nr.Accuracy1 < 0.9 {
+		t.Errorf("pair 1 NoRandom accuracy %.3f, want >= 0.9", nr.Accuracy1)
+	}
+	// The lower-priority pair sees the first pair as strong structured noise
+	// but still beats chance.
+	if nr.Accuracy2 < 0.55 {
+		t.Errorf("pair 2 NoRandom accuracy %.3f, want above chance", nr.Accuracy2)
+	}
+	// TimeDice degrades both pairs at once.
+	if td.Accuracy1 > nr.Accuracy1-0.25 {
+		t.Errorf("pair 1: TimeDice %.3f vs NoRandom %.3f — insufficient mitigation", td.Accuracy1, nr.Accuracy1)
+	}
+	if td.Accuracy2 > nr.Accuracy2+0.05 {
+		t.Errorf("pair 2: TimeDice %.3f above NoRandom %.3f", td.Accuracy2, nr.Accuracy2)
+	}
+	if td.Accuracy1 > 0.72 || td.Accuracy2 > 0.72 {
+		t.Errorf("TimeDice residual accuracies (%.3f, %.3f) too high", td.Accuracy1, td.Accuracy2)
+	}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"io"
+
+	"timedice/internal/core"
+	"timedice/internal/engine"
+	"timedice/internal/model"
+	"timedice/internal/rng"
+	"timedice/internal/sched"
+	"timedice/internal/vtime"
+)
+
+// ShortfallRow quantifies budget preservation for one policy: over a run of
+// the Table I system with every partition's task demanding its full budget
+// each period, how many replenishment periods ended with the partition
+// under-served, and by how much in total.
+type ShortfallRow struct {
+	Policy         string
+	PeriodsChecked int64
+	PeriodsShort   int64
+	TotalShortfall vtime.Duration
+	WorstShortfall vtime.Duration
+}
+
+// NaiveComparison is the §IV motivation made measurable: TimeDice's candidacy
+// test is what separates safe randomization from the naive strawman.
+type NaiveComparison struct {
+	Rows []ShortfallRow
+}
+
+// Row returns the entry for a policy name.
+func (n *NaiveComparison) Row(name string) (ShortfallRow, bool) {
+	for _, r := range n.Rows {
+		if r.Policy == name {
+			return r, true
+		}
+	}
+	return ShortfallRow{}, false
+}
+
+// Naive measures per-period budget shortfalls under TimeDiceW, TimeDiceU,
+// and the unprincipled NaiveRandom scheduler on the fully loaded Table I
+// system ("partitions ... not being able to fully utilize the CPU budget
+// assigned" — §IV).
+func Naive(sc Scale, w io.Writer) (*NaiveComparison, error) {
+	sc = sc.withDefaults()
+	spec := greedySpec(BaseLoad.Spec())
+	dur := vtime.Duration(sc.SimSeconds) * vtime.Second
+
+	res := &NaiveComparison{}
+	type entry struct {
+		name string
+		mk   func() engine.GlobalPolicy
+	}
+	entries := []entry{
+		{"TimeDiceW", func() engine.GlobalPolicy { return core.NewPolicy() }},
+		{"TimeDiceU", func() engine.GlobalPolicy {
+			return core.NewPolicy(core.WithSelection(core.SelectUniform))
+		}},
+		{"NaiveRandom", func() engine.GlobalPolicy { return &sched.NaiveRandom{} }},
+	}
+	fprintf(w, "Budget preservation: per-period shortfalls on the saturated Table I system\n")
+	fprintf(w, "%-12s %10s %10s %14s %14s\n", "policy", "periods", "short", "total short", "worst short")
+	for _, e := range entries {
+		row, err := shortfallRun(spec, e.mk(), dur, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		fprintf(w, "%-12s %10d %10d %14v %14v\n",
+			row.Policy, row.PeriodsChecked, row.PeriodsShort, row.TotalShortfall, row.WorstShortfall)
+	}
+	return res, nil
+}
+
+// greedySpec replaces every partition's tasks with one full-budget-per-period
+// task so any supply shortfall is observable.
+func greedySpec(spec model.SystemSpec) model.SystemSpec {
+	out := spec
+	out.Partitions = append([]model.PartitionSpec(nil), spec.Partitions...)
+	for i := range out.Partitions {
+		p := &out.Partitions[i]
+		p.Tasks = []model.TaskSpec{{Name: "greedy", Period: p.Period, WCET: p.Budget}}
+	}
+	return out
+}
+
+func shortfallRun(spec model.SystemSpec, pol engine.GlobalPolicy, dur vtime.Duration, seed uint64) (ShortfallRow, error) {
+	built, err := spec.Build()
+	if err != nil {
+		return ShortfallRow{}, err
+	}
+	sys, err := engine.New(built.Partitions, pol, rng.New(seed))
+	if err != nil {
+		return ShortfallRow{}, err
+	}
+	supply := make([]map[int64]vtime.Duration, len(spec.Partitions))
+	for i := range supply {
+		supply[i] = make(map[int64]vtime.Duration)
+	}
+	sys.TraceFn = func(seg engine.Segment) {
+		if seg.Partition < 0 {
+			return
+		}
+		T := spec.Partitions[seg.Partition].Period
+		for t0 := seg.Start; t0 < seg.End; {
+			k := int64(t0) / int64(T)
+			winEnd := vtime.Time((k + 1) * int64(T))
+			chunk := seg.End.Min(winEnd).Sub(t0)
+			supply[seg.Partition][k] += chunk
+			t0 = t0.Add(chunk)
+		}
+	}
+	sys.Run(vtime.Time(dur))
+
+	row := ShortfallRow{Policy: pol.Name()}
+	for i, p := range spec.Partitions {
+		periods := int64(dur) / int64(p.Period)
+		for k := int64(0); k < periods; k++ {
+			row.PeriodsChecked++
+			if got := supply[i][k]; got < p.Budget {
+				row.PeriodsShort++
+				short := p.Budget - got
+				row.TotalShortfall += short
+				if short > row.WorstShortfall {
+					row.WorstShortfall = short
+				}
+			}
+		}
+	}
+	return row, nil
+}

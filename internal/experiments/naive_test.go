@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestNaiveRandomBreaksBudgetsTimeDiceDoesNot(t *testing.T) {
+	res, err := Naive(Scale{SimSeconds: 10, Seed: 1}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"TimeDiceW", "TimeDiceU"} {
+		row, ok := res.Row(name)
+		if !ok {
+			t.Fatalf("missing row %s", name)
+		}
+		if row.PeriodsShort != 0 || row.TotalShortfall != 0 {
+			t.Errorf("%s: %d short periods (total %v) — schedulability preservation violated",
+				name, row.PeriodsShort, row.TotalShortfall)
+		}
+		if row.PeriodsChecked == 0 {
+			t.Errorf("%s: no periods checked", name)
+		}
+	}
+	naive, ok := res.Row("NaiveRandom")
+	if !ok {
+		t.Fatal("missing NaiveRandom row")
+	}
+	if naive.PeriodsShort == 0 {
+		t.Error("NaiveRandom showed no shortfalls — the strawman should visibly break budgets at 80% load")
+	}
+	if float64(naive.PeriodsShort)/float64(naive.PeriodsChecked) < 0.05 {
+		t.Errorf("NaiveRandom shortfall rate suspiciously low: %d/%d",
+			naive.PeriodsShort, naive.PeriodsChecked)
+	}
+}

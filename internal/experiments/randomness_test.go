@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"timedice/internal/policies"
+)
+
+func TestRandomnessOrdering(t *testing.T) {
+	res, err := Randomness(Scale{SimSeconds: 10, Seed: 1}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		nr, _ := res.Row(policies.NoRandom, load)
+		tdu, _ := res.Row(policies.TimeDiceU, load)
+		tdw, _ := res.Row(policies.TimeDiceW, load)
+		if tdu.SlotEntropy <= nr.SlotEntropy || tdw.SlotEntropy <= nr.SlotEntropy {
+			t.Errorf("%v: TimeDice entropies (%.3f/%.3f) must exceed NoRandom (%.3f)",
+				load, tdu.SlotEntropy, tdw.SlotEntropy, nr.SlotEntropy)
+		}
+		if tdw.SlotEntropy > tdw.EntropyBound {
+			t.Errorf("%v: entropy above bound", load)
+		}
+		if tdw.ExhaustionStdMS <= nr.ExhaustionStdMS {
+			t.Errorf("%v: TimeDiceW exhaustion spread %.3f should exceed NoRandom %.3f",
+				load, tdw.ExhaustionStdMS, nr.ExhaustionStdMS)
+		}
+	}
+	// Theorem 1's contrast is most visible under light load: weighted
+	// selection defers consumption (later mean exhaustion) vs uniform.
+	tduL, _ := res.Row(policies.TimeDiceU, LightLoad)
+	tdwL, _ := res.Row(policies.TimeDiceW, LightLoad)
+	if tdwL.ExhaustionMeanMS <= tduL.ExhaustionMeanMS {
+		t.Errorf("light load: TimeDiceW mean exhaustion %.2fms should exceed TimeDiceU %.2fms",
+			tdwL.ExhaustionMeanMS, tduL.ExhaustionMeanMS)
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"io"
+
+	"timedice/internal/covert"
+	"timedice/internal/policies"
+	"timedice/internal/vtime"
+)
+
+// RatePoint is one point of the signaling-rate sweep: a monitoring-window
+// length, the per-window channel capacity, and the resulting channel rate in
+// bits per second — the paper's "if the frequency of the monitoring window is
+// f Hz ... about 0.8f–0.9f bits can be sent over 1 second under NoRandom and
+// about 0.1f–0.2f under TIMEDICE" (§V-B1) made concrete.
+type RatePoint struct {
+	Policy   policies.Kind
+	Window   vtime.Duration
+	Accuracy float64
+	Capacity float64 // bits per window
+	BitsPerS float64 // Capacity / Window
+}
+
+// RateResult is the whole sweep.
+type RateResult struct {
+	Points []RatePoint
+}
+
+// Point returns the entry for (policy, window).
+func (r *RateResult) Point(k policies.Kind, w vtime.Duration) (RatePoint, bool) {
+	for _, p := range r.Points {
+		if p.Policy == k && p.Window == w {
+			return p, true
+		}
+	}
+	return RatePoint{}, false
+}
+
+// Rate sweeps the monitoring-window length over multiples of the receiver's
+// replenishment period (window = k·T_R for k ∈ {2, 3, 6, 12}) under NoRandom
+// and TimeDiceW on the Table I base system. Shorter windows signal faster but
+// give the receiver fewer replenishments per observation; the product
+// capacity/window is the achievable covert bit rate.
+func Rate(sc Scale, w io.Writer) (*RateResult, error) {
+	sc = sc.withDefaults()
+	res := &RateResult{}
+	spec := BaseLoad.Spec()
+	tR := spec.Partitions[3].Period
+	fprintf(w, "Signaling-rate sweep (receiver Π4, T_R = %v)\n", tR)
+	fprintf(w, "%-10s %-10s %9s %10s %10s\n", "policy", "window", "accuracy", "b/window", "bits/s")
+	for _, k := range []int64{2, 3, 6, 12} {
+		window := vtime.Duration(k) * tR
+		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
+			cfg := channelConfig(BaseLoad, kind, sc)
+			cfg.Window = window
+			// The sender executes once per receiver replenishment so that a
+			// burst always lands at the start of the receiver's final budget
+			// period, whatever the window length (cf. Fig. 3's "how many
+			// times it needs to execute during a monitoring window").
+			cfg.SenderPeriod = tR
+			// Keep the experiment length comparable across window sizes.
+			cfg.TestWindows = sc.TestWindows * 3 / int(k)
+			if cfg.TestWindows < 50 {
+				cfg.TestWindows = 50
+			}
+			run, err := covert.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt := RatePoint{
+				Policy:   kind,
+				Window:   window,
+				Accuracy: run.RTAccuracy,
+				Capacity: run.Capacity,
+				BitsPerS: run.Capacity / window.Seconds(),
+			}
+			res.Points = append(res.Points, pt)
+			fprintf(w, "%-10s %-10v %8.2f%% %10.3f %10.2f\n",
+				kind, window, 100*pt.Accuracy, pt.Capacity, pt.BitsPerS)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"timedice/internal/policies"
+	"timedice/internal/vtime"
+)
+
+func TestRateSweepShape(t *testing.T) {
+	res, err := Rate(Scale{ProfileWindows: 200, TestWindows: 400, Seed: 1}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, k := range []int64{2, 3, 6, 12} {
+		window := vtime.Duration(k) * vtime.MS(50)
+		nr, ok1 := res.Point(policies.NoRandom, window)
+		td, ok2 := res.Point(policies.TimeDiceW, window)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing points for window %v", window)
+		}
+		// §V-B1: NoRandom carries roughly 0.8f-0.9f bits/s, TimeDice
+		// 0.1f-0.2f. Allow wide tolerances; the ordering and rough bands are
+		// the claim.
+		f := 1 / window.Seconds()
+		if nr.BitsPerS < 0.5*f {
+			t.Errorf("window %v: NoRandom rate %.2f b/s below 0.5f (f=%.2f)", window, nr.BitsPerS, f)
+		}
+		if td.BitsPerS > 0.45*f {
+			t.Errorf("window %v: TimeDice rate %.2f b/s above 0.45f (f=%.2f)", window, td.BitsPerS, f)
+		}
+		if td.Capacity > nr.Capacity {
+			t.Errorf("window %v: TimeDice capacity above NoRandom", window)
+		}
+	}
+	// Faster signaling (shorter window) yields a higher absolute bit rate
+	// under NoRandom.
+	fast, _ := res.Point(policies.NoRandom, vtime.MS(100))
+	slow, _ := res.Point(policies.NoRandom, vtime.MS(600))
+	if fast.BitsPerS <= slow.BitsPerS {
+		t.Errorf("rate should grow with signaling frequency: %.2f vs %.2f", fast.BitsPerS, slow.BitsPerS)
+	}
+}

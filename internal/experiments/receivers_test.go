@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestReceiverZoo(t *testing.T) {
+	res, err := ReceiverZoo(Scale{ProfileWindows: 250, TestWindows: 500, Seed: 1}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"response-time", "response-time-online", "svm-rbf", "naive-bayes", "forest", "logreg", "knn"}
+	for _, name := range want {
+		row, ok := res.Row(name)
+		if !ok {
+			t.Fatalf("missing receiver %s", name)
+		}
+		// Every receiver decodes well above chance with no defense and is
+		// degraded by TimeDice.
+		if row.NoRandom < 0.7 {
+			t.Errorf("%s: NoRandom %.3f too weak", name, row.NoRandom)
+		}
+		if row.TimeDice > row.NoRandom-0.05 {
+			t.Errorf("%s: TimeDice %.3f vs NoRandom %.3f — no mitigation", name, row.TimeDice, row.NoRandom)
+		}
+	}
+	// §III-d: the best vector receiver at least matches the RT decoder.
+	rt, _ := res.Row("response-time")
+	svm, _ := res.Row("svm-rbf")
+	if svm.NoRandom < rt.NoRandom-0.05 {
+		t.Errorf("SVM (%.3f) should match or beat the RT decoder (%.3f)", svm.NoRandom, rt.NoRandom)
+	}
+}

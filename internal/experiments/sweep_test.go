@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestUtilizationSweepTrend(t *testing.T) {
+	res, err := UtilizationSweep(Scale{ProfileWindows: 200, TestWindows: 400, Seed: 1}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		// The attack works at every load...
+		if pt.NoRandomAccuracy < 0.75 {
+			t.Errorf("α=%.2f: NoRandom accuracy %.3f too low", pt.Alpha, pt.NoRandomAccuracy)
+		}
+		// ...and TimeDice mitigates at every load.
+		if pt.TimeDiceWAccuracy > pt.NoRandomAccuracy-0.15 {
+			t.Errorf("α=%.2f: TimeDiceW %.3f vs NoRandom %.3f — weak mitigation",
+				pt.Alpha, pt.TimeDiceWAccuracy, pt.NoRandomAccuracy)
+		}
+		if pt.TimeDiceWCapacity > pt.NoRandomCapacity {
+			t.Errorf("α=%.2f: TimeDiceW capacity above NoRandom", pt.Alpha)
+		}
+	}
+	// §V-B1(i): TimeDice is MORE effective when the system is lightly loaded
+	// (more room for priority inversion). The residual accuracy at the
+	// lightest load must be below the residual accuracy at the heaviest.
+	lightest, heaviest := res.Points[0], res.Points[len(res.Points)-1]
+	if lightest.TimeDiceWAccuracy >= heaviest.TimeDiceWAccuracy {
+		t.Errorf("TimeDiceW residual accuracy should grow with load: %.3f (%.0f%%) vs %.3f (%.0f%%)",
+			lightest.TimeDiceWAccuracy, 100*lightest.Utilization,
+			heaviest.TimeDiceWAccuracy, 100*heaviest.Utilization)
+	}
+}

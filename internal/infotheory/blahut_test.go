@@ -1,0 +1,99 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+
+	"timedice/internal/rng"
+)
+
+func TestBlahutArimotoBSC(t *testing.T) {
+	// Binary symmetric channel: capacity 1−H2(e), achieved by uniform input.
+	for _, e := range []float64{0, 0.05, 0.11, 0.25, 0.5} {
+		channel := [][]float64{
+			{1 - e, e},
+			{e, 1 - e},
+		}
+		c, input := BlahutArimoto(channel, 1e-10, 0)
+		want := BinaryChannelCapacity(e)
+		if e == 0 || e == 1 {
+			want = 1
+		}
+		if math.Abs(c-want) > 1e-6 {
+			t.Errorf("BSC(e=%v): capacity %v, want %v", e, c, want)
+		}
+		if e > 0 && e < 0.5 && math.Abs(input[0]-0.5) > 1e-4 {
+			t.Errorf("BSC(e=%v): optimal input %v, want uniform", e, input)
+		}
+	}
+}
+
+func TestBlahutArimotoBEC(t *testing.T) {
+	// Binary erasure channel with erasure probability ε: capacity 1−ε.
+	for _, eps := range []float64{0.1, 0.3, 0.7} {
+		channel := [][]float64{
+			{1 - eps, eps, 0},
+			{0, eps, 1 - eps},
+		}
+		c, _ := BlahutArimoto(channel, 1e-10, 0)
+		if math.Abs(c-(1-eps)) > 1e-6 {
+			t.Errorf("BEC(ε=%v): capacity %v, want %v", eps, c, 1-eps)
+		}
+	}
+}
+
+func TestBlahutArimotoZChannel(t *testing.T) {
+	// Z-channel with crossover 0.5: known capacity log2(5) − 2 ≈ 0.321928,
+	// and the optimal input is NOT uniform.
+	channel := [][]float64{
+		{1, 0},
+		{0.5, 0.5},
+	}
+	c, input := BlahutArimoto(channel, 1e-12, 0)
+	want := math.Log2(5) - 2
+	if math.Abs(c-want) > 1e-6 {
+		t.Errorf("Z-channel: capacity %v, want %v", c, want)
+	}
+	if math.Abs(input[0]-0.5) < 0.05 {
+		t.Errorf("Z-channel optimal input should be skewed, got %v", input)
+	}
+}
+
+func TestBlahutArimotoDegenerate(t *testing.T) {
+	if c, _ := BlahutArimoto(nil, 0, 0); c != 0 {
+		t.Error("nil channel")
+	}
+	if c, _ := BlahutArimoto([][]float64{{}}, 0, 0); c != 0 {
+		t.Error("empty rows")
+	}
+	// Useless channel (identical rows): capacity 0.
+	c, _ := BlahutArimoto([][]float64{{0.5, 0.5}, {0.5, 0.5}}, 0, 0)
+	if c > 1e-9 {
+		t.Errorf("useless channel capacity %v", c)
+	}
+}
+
+func TestOptimalCapacityDominatesUniform(t *testing.T) {
+	// On an asymmetric empirical channel, the optimal capacity must be at
+	// least the uniform-input mutual information.
+	r := rng.New(77)
+	j := NewJointCounts(3)
+	for i := 0; i < 200000; i++ {
+		x := r.Bit()
+		var y int
+		if x == 0 {
+			y = 0 // input 0 is noiseless
+		} else {
+			y = 1 + r.Intn(2) // input 1 smears over bins 1-2
+		}
+		j.Add(x, y)
+	}
+	uniform := j.MutualInformation()
+	opt := j.OptimalCapacity()
+	if opt < uniform-1e-6 {
+		t.Errorf("optimal %v below uniform-input MI %v", opt, uniform)
+	}
+	if opt > 1+1e-9 {
+		t.Errorf("binary-input capacity above 1 bit: %v", opt)
+	}
+}

@@ -1,0 +1,125 @@
+// Package infotheory computes the information-theoretic covert-channel
+// metrics of the paper's §V-B1: the conditional entropy H(X|R) of Eq. (6)
+// and the channel capacity C = max_{p(X)} (H(X) − H(X|R)), evaluated — as
+// the paper does — for a binary input X with uniform p(X), from an empirical
+// joint sample of (X, R) with the response times R discretized into bins.
+package infotheory
+
+import (
+	"math"
+)
+
+// log2 returns log₂(x).
+func log2(x float64) float64 { return math.Log2(x) }
+
+// Entropy returns H(p) in bits for a distribution given as non-negative
+// weights (normalized internally). Zero-weight entries contribute nothing.
+func Entropy(p []float64) float64 {
+	var total float64
+	for _, w := range p {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, w := range p {
+		if w > 0 {
+			q := w / total
+			h -= q * log2(q)
+		}
+	}
+	return h
+}
+
+// JointCounts is an empirical joint distribution of the binary channel input
+// X ∈ {0,1} and the discretized observation R: Counts[x][bin].
+type JointCounts struct {
+	Counts [2][]int64
+	Total  int64
+}
+
+// NewJointCounts allocates a joint table with n observation bins.
+func NewJointCounts(n int) *JointCounts {
+	return &JointCounts{Counts: [2][]int64{make([]int64, n), make([]int64, n)}}
+}
+
+// Add records one (x, bin) sample.
+func (j *JointCounts) Add(x int, bin int) {
+	j.Counts[x&1][bin]++
+	j.Total++
+}
+
+// ConditionalEntropy returns H(X|R) in bits per observation, Eq. (6):
+//
+//	H(X|R) = Σ_R Σ_X Pr(X,R) · log( Pr(R) / Pr(X,R) ).
+func (j *JointCounts) ConditionalEntropy() float64 {
+	if j.Total == 0 {
+		return 0
+	}
+	n := len(j.Counts[0])
+	var h float64
+	for bin := 0; bin < n; bin++ {
+		pr := float64(j.Counts[0][bin]+j.Counts[1][bin]) / float64(j.Total)
+		if pr == 0 {
+			continue
+		}
+		for x := 0; x < 2; x++ {
+			pxr := float64(j.Counts[x][bin]) / float64(j.Total)
+			if pxr == 0 {
+				continue
+			}
+			h += pxr * log2(pr/pxr)
+		}
+	}
+	return h
+}
+
+// InputEntropy returns H(X) of the empirical input marginal.
+func (j *JointCounts) InputEntropy() float64 {
+	var c0, c1 float64
+	for _, c := range j.Counts[0] {
+		c0 += float64(c)
+	}
+	for _, c := range j.Counts[1] {
+		c1 += float64(c)
+	}
+	return Entropy([]float64{c0, c1})
+}
+
+// MutualInformation returns I(X;R) = H(X) − H(X|R) in bits per observation.
+func (j *JointCounts) MutualInformation() float64 {
+	mi := j.InputEntropy() - j.ConditionalEntropy()
+	if mi < 0 {
+		return 0 // numerical noise on independent samples
+	}
+	return mi
+}
+
+// Capacity returns the paper's channel-capacity estimate: H(X) − H(X|R) with
+// X uniform binary, i.e. 1 − H(X|R) when the sender's test bits were drawn
+// uniformly (which the experiments ensure). It is clamped to [0, 1].
+func (j *JointCounts) Capacity() float64 {
+	c := 1 - j.ConditionalEntropy()
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// BinaryChannelCapacity computes the capacity of a binary symmetric channel
+// with error rate e: 1 − H₂(e). It is the upper bound a decoder with
+// accuracy (1−e) implies, used as a cross-check on the histogram-based
+// estimate.
+func BinaryChannelCapacity(errRate float64) float64 {
+	if errRate <= 0 || errRate >= 1 {
+		return 1
+	}
+	h2 := -errRate*log2(errRate) - (1-errRate)*log2(1-errRate)
+	return 1 - h2
+}

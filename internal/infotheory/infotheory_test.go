@@ -1,0 +1,138 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+
+	"timedice/internal/rng"
+)
+
+func TestEntropy(t *testing.T) {
+	cases := []struct {
+		p    []float64
+		want float64
+	}{
+		{[]float64{1, 1}, 1},
+		{[]float64{1, 0}, 0},
+		{[]float64{1, 1, 1, 1}, 2},
+		{[]float64{}, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{3, 1}, -(0.75*math.Log2(0.75) + 0.25*math.Log2(0.25))},
+	}
+	for _, c := range cases {
+		if got := Entropy(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Entropy(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPerfectChannel(t *testing.T) {
+	// X fully determines the bin: H(X|R)=0, capacity 1.
+	j := NewJointCounts(4)
+	for i := 0; i < 500; i++ {
+		j.Add(0, 0)
+		j.Add(1, 3)
+	}
+	if h := j.ConditionalEntropy(); math.Abs(h) > 1e-12 {
+		t.Errorf("H(X|R) = %v, want 0", h)
+	}
+	if c := j.Capacity(); math.Abs(c-1) > 1e-12 {
+		t.Errorf("capacity = %v, want 1", c)
+	}
+	if mi := j.MutualInformation(); math.Abs(mi-1) > 1e-12 {
+		t.Errorf("MI = %v, want 1", mi)
+	}
+}
+
+func TestUselessChannel(t *testing.T) {
+	// R independent of X: H(X|R)=H(X)=1, capacity 0.
+	j := NewJointCounts(2)
+	for i := 0; i < 500; i++ {
+		j.Add(0, 0)
+		j.Add(0, 1)
+		j.Add(1, 0)
+		j.Add(1, 1)
+	}
+	if h := j.ConditionalEntropy(); math.Abs(h-1) > 1e-12 {
+		t.Errorf("H(X|R) = %v, want 1", h)
+	}
+	if c := j.Capacity(); c != 0 {
+		t.Errorf("capacity = %v, want 0", c)
+	}
+}
+
+func TestNoisyChannelMatchesBSC(t *testing.T) {
+	// A binary symmetric channel with error rate e simulated empirically
+	// should approach 1 - H2(e).
+	r := rng.New(123)
+	const e = 0.11
+	j := NewJointCounts(2)
+	for i := 0; i < 400000; i++ {
+		x := r.Bit()
+		y := x
+		if r.Bool(e) {
+			y = 1 - x
+		}
+		j.Add(x, y)
+	}
+	want := BinaryChannelCapacity(e)
+	if got := j.Capacity(); math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical BSC capacity %v, want ≈%v", got, want)
+	}
+}
+
+func TestBinaryChannelCapacity(t *testing.T) {
+	if BinaryChannelCapacity(0) != 1 || BinaryChannelCapacity(1) != 1 {
+		t.Error("degenerate error rates should give capacity 1")
+	}
+	if got := BinaryChannelCapacity(0.5); math.Abs(got) > 1e-12 {
+		t.Errorf("capacity at e=0.5 = %v, want 0", got)
+	}
+	// Symmetry around 0.5.
+	if math.Abs(BinaryChannelCapacity(0.3)-BinaryChannelCapacity(0.7)) > 1e-12 {
+		t.Error("capacity must be symmetric in e")
+	}
+}
+
+func TestInputEntropySkewed(t *testing.T) {
+	j := NewJointCounts(2)
+	for i := 0; i < 300; i++ {
+		j.Add(0, 0)
+	}
+	for i := 0; i < 100; i++ {
+		j.Add(1, 1)
+	}
+	want := Entropy([]float64{3, 1})
+	if got := j.InputEntropy(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("H(X) = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyJoint(t *testing.T) {
+	j := NewJointCounts(3)
+	if j.ConditionalEntropy() != 0 || j.MutualInformation() != 0 {
+		t.Error("empty joint should be all zeros")
+	}
+}
+
+func TestCapacityMonotoneInNoise(t *testing.T) {
+	// Property: adding symmetric noise can only reduce capacity.
+	r := rng.New(7)
+	prev := 1.1
+	for _, e := range []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		j := NewJointCounts(2)
+		for i := 0; i < 100000; i++ {
+			x := r.Bit()
+			y := x
+			if r.Bool(e) {
+				y = 1 - x
+			}
+			j.Add(x, y)
+		}
+		c := j.Capacity()
+		if c > prev+0.01 {
+			t.Errorf("capacity increased with noise: e=%v c=%v prev=%v", e, c, prev)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"fmt"
+
+	"timedice/internal/rng"
+)
+
+// Confusion is a binary confusion matrix: Counts[actual][predicted].
+type Confusion struct {
+	Counts [2][2]int
+}
+
+// Evaluate fills a confusion matrix from clf's predictions on (xs, ys).
+func Evaluate(clf Classifier, xs [][]float64, ys []int) Confusion {
+	var c Confusion
+	for i, x := range xs {
+		c.Counts[ys[i]&1][clf.Predict(x)&1]++
+	}
+	return c
+}
+
+// Total returns the number of evaluated samples.
+func (c Confusion) Total() int {
+	return c.Counts[0][0] + c.Counts[0][1] + c.Counts[1][0] + c.Counts[1][1]
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Counts[0][0]+c.Counts[1][1]) / float64(t)
+}
+
+// Precision returns TP/(TP+FP) for class 1.
+func (c Confusion) Precision() float64 {
+	den := c.Counts[1][1] + c.Counts[0][1]
+	if den == 0 {
+		return 0
+	}
+	return float64(c.Counts[1][1]) / float64(den)
+}
+
+// Recall returns TP/(TP+FN) for class 1.
+func (c Confusion) Recall() float64 {
+	den := c.Counts[1][1] + c.Counts[1][0]
+	if den == 0 {
+		return 0
+	}
+	return float64(c.Counts[1][1]) / float64(den)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix and derived metrics on one line.
+func (c Confusion) String() string {
+	return fmt.Sprintf("[[%d %d][%d %d]] acc=%.3f p=%.3f r=%.3f f1=%.3f",
+		c.Counts[0][0], c.Counts[0][1], c.Counts[1][0], c.Counts[1][1],
+		c.Accuracy(), c.Precision(), c.Recall(), c.F1())
+}
+
+// CrossValidate estimates tr's accuracy by k-fold cross validation with a
+// seeded shuffle; it returns the mean accuracy over the folds. Folds that
+// end up single-class in training are skipped (and reported in skipped).
+func CrossValidate(tr Trainer, xs [][]float64, ys []int, k int, seed uint64) (mean float64, skipped int, err error) {
+	if k < 2 {
+		return 0, 0, fmt.Errorf("ml: cross validation needs k >= 2, got %d", k)
+	}
+	if len(xs) < k {
+		return 0, 0, fmt.Errorf("ml: %d samples for %d folds", len(xs), k)
+	}
+	if len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("%w: %d vectors, %d labels", ErrBadTrainingSet, len(xs), len(ys))
+	}
+	perm := rng.New(seed).Perm(len(xs))
+	var sum float64
+	folds := 0
+	for f := 0; f < k; f++ {
+		var trainX, testX [][]float64
+		var trainY, testY []int
+		for i, idx := range perm {
+			if i%k == f {
+				testX = append(testX, xs[idx])
+				testY = append(testY, ys[idx])
+			} else {
+				trainX = append(trainX, xs[idx])
+				trainY = append(trainY, ys[idx])
+			}
+		}
+		clf, err := tr.Train(trainX, trainY)
+		if err != nil {
+			skipped++
+			continue
+		}
+		sum += Accuracy(clf, testX, testY)
+		folds++
+	}
+	if folds == 0 {
+		return 0, skipped, fmt.Errorf("ml: every fold failed to train")
+	}
+	return sum / float64(folds), skipped, nil
+}

@@ -1,0 +1,87 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"timedice/internal/rng"
+)
+
+type constClassifier int
+
+func (c constClassifier) Predict([]float64) int { return int(c) }
+func (c constClassifier) Name() string          { return "const" }
+
+func TestConfusionMetrics(t *testing.T) {
+	xs := [][]float64{{0}, {0}, {0}, {0}}
+	ys := []int{1, 1, 0, 0}
+	c := Evaluate(constClassifier(1), xs, ys)
+	if c.Total() != 4 {
+		t.Fatalf("total %d", c.Total())
+	}
+	if c.Accuracy() != 0.5 {
+		t.Errorf("accuracy %v", c.Accuracy())
+	}
+	if c.Precision() != 0.5 {
+		t.Errorf("precision %v", c.Precision())
+	}
+	if c.Recall() != 1 {
+		t.Errorf("recall %v", c.Recall())
+	}
+	if f1 := c.F1(); math.Abs(f1-2.0/3.0) > 1e-12 {
+		t.Errorf("f1 %v", f1)
+	}
+	if c.String() == "" {
+		t.Error("empty string form")
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should be all zeros")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	r := rng.New(10)
+	xs, ys := twoBlobs(r, 300, 4, 4)
+	mean, skipped, err := CrossValidate(LogReg{}, xs, ys, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped %d folds", skipped)
+	}
+	if mean < 0.9 {
+		t.Errorf("cross-validated accuracy %.3f on separable blobs", mean)
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	if _, _, err := CrossValidate(KNN{}, [][]float64{{1}}, []int{0}, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, _, err := CrossValidate(KNN{}, [][]float64{{1}}, []int{0}, 5, 1); err == nil {
+		t.Error("too few samples accepted")
+	}
+	if _, _, err := CrossValidate(KNN{}, [][]float64{{1}, {2}}, []int{0}, 2, 1); err == nil {
+		t.Error("ragged labels accepted")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	r := rng.New(11)
+	xs, ys := twoBlobs(r, 120, 3, 3)
+	a, _, err := CrossValidate(KNN{K: 3}, xs, ys, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := CrossValidate(KNN{K: 3}, xs, ys, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cross validation with the same seed must be deterministic")
+	}
+}

@@ -1,0 +1,187 @@
+package ml
+
+import (
+	"math"
+
+	"timedice/internal/rng"
+)
+
+// Forest trains a random forest of CART-style decision trees on bootstrap
+// samples with random feature subsetting — the other learner the paper names
+// for the execution-vector receiver (§III-d).
+type Forest struct {
+	// Trees is the ensemble size (default 25).
+	Trees int
+	// MaxDepth bounds tree depth (default 10).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// Features is the number of features tried per split (default √dim).
+	Features int
+	// Seed makes training deterministic (default 1).
+	Seed uint64
+}
+
+var _ Trainer = Forest{}
+
+// Name implements Trainer.
+func (f Forest) Name() string { return "forest" }
+
+type treeNode struct {
+	feature  int
+	thresh   float64
+	left     *treeNode
+	right    *treeNode
+	leafVote int
+	isLeaf   bool
+}
+
+func (n *treeNode) predict(x []float64) int {
+	for !n.isLeaf {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.leafVote
+}
+
+type forestModel struct {
+	trees []*treeNode
+}
+
+var _ Classifier = (*forestModel)(nil)
+
+func (m *forestModel) Name() string { return "forest" }
+
+// Predict implements Classifier (majority vote).
+func (m *forestModel) Predict(x []float64) int {
+	ones := 0
+	for _, t := range m.trees {
+		ones += t.predict(x)
+	}
+	if 2*ones >= len(m.trees) {
+		return 1
+	}
+	return 0
+}
+
+// Train implements Trainer.
+func (f Forest) Train(xs [][]float64, ys []int) (Classifier, error) {
+	dim, err := validate(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	trees := f.Trees
+	if trees <= 0 {
+		trees = 25
+	}
+	maxDepth := f.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 10
+	}
+	minLeaf := f.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	features := f.Features
+	if features <= 0 {
+		features = int(math.Sqrt(float64(dim)))
+		if features < 1 {
+			features = 1
+		}
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	r := rng.New(seed)
+
+	n := len(xs)
+	model := &forestModel{}
+	idx := make([]int, n)
+	for t := 0; t < trees; t++ {
+		for i := range idx {
+			idx[i] = r.Intn(n)
+		}
+		b := treeBuilder{xs: xs, ys: ys, r: r, features: features, minLeaf: minLeaf, dim: dim}
+		model.trees = append(model.trees, b.build(append([]int(nil), idx...), maxDepth))
+	}
+	return model, nil
+}
+
+type treeBuilder struct {
+	xs       [][]float64
+	ys       []int
+	r        *rng.Rand
+	features int
+	minLeaf  int
+	dim      int
+}
+
+func (b *treeBuilder) build(idx []int, depth int) *treeNode {
+	ones := 0
+	for _, i := range idx {
+		ones += b.ys[i]
+	}
+	vote := 0
+	if 2*ones >= len(idx) {
+		vote = 1
+	}
+	if depth == 0 || len(idx) < 2*b.minLeaf || ones == 0 || ones == len(idx) {
+		return &treeNode{isLeaf: true, leafVote: vote}
+	}
+
+	bestGini := math.Inf(1)
+	bestFeature, bestThresh := -1, 0.0
+	for f := 0; f < b.features; f++ {
+		feat := b.r.Intn(b.dim)
+		// Candidate thresholds: a few random sample values.
+		for trial := 0; trial < 4; trial++ {
+			pivot := b.xs[idx[b.r.Intn(len(idx))]][feat]
+			var lN, lOnes, rN, rOnes int
+			for _, i := range idx {
+				if b.xs[i][feat] <= pivot {
+					lN++
+					lOnes += b.ys[i]
+				} else {
+					rN++
+					rOnes += b.ys[i]
+				}
+			}
+			if lN < b.minLeaf || rN < b.minLeaf {
+				continue
+			}
+			g := gini(lOnes, lN)*float64(lN) + gini(rOnes, rN)*float64(rN)
+			if g < bestGini {
+				bestGini, bestFeature, bestThresh = g, feat, pivot
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{isLeaf: true, leafVote: vote}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.xs[i][bestFeature] <= bestThresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &treeNode{
+		feature: bestFeature,
+		thresh:  bestThresh,
+		left:    b.build(left, depth-1),
+		right:   b.build(right, depth-1),
+	}
+}
+
+func gini(ones, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(ones) / float64(n)
+	return 2 * p * (1 - p)
+}

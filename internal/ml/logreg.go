@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"math"
+)
+
+// LogReg trains L2-regularized logistic regression by full-batch gradient
+// descent with a fixed schedule. It is the cheap, well-understood baseline
+// for the execution-vector receiver.
+type LogReg struct {
+	// Rate is the learning rate (default 0.5).
+	Rate float64
+	// Epochs is the number of gradient steps (default 200).
+	Epochs int
+	// Lambda is the L2 penalty (default 1e-4).
+	Lambda float64
+}
+
+var _ Trainer = LogReg{}
+
+// Name implements Trainer.
+func (l LogReg) Name() string { return "logreg" }
+
+type logRegModel struct {
+	w []float64
+	b float64
+}
+
+var _ Classifier = (*logRegModel)(nil)
+
+func (m *logRegModel) Name() string { return "logreg" }
+
+// Predict implements Classifier.
+func (m *logRegModel) Predict(x []float64) int {
+	if dot(m.w, x)+m.b >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Train implements Trainer.
+func (l LogReg) Train(xs [][]float64, ys []int) (Classifier, error) {
+	dim, err := validate(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	rate := l.Rate
+	if rate <= 0 {
+		rate = 0.5
+	}
+	epochs := l.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	lambda := l.Lambda
+	if lambda <= 0 {
+		lambda = 1e-4
+	}
+	n := float64(len(xs))
+	w := make([]float64, dim)
+	var b float64
+	gw := make([]float64, dim)
+	for e := 0; e < epochs; e++ {
+		for i := range gw {
+			gw[i] = lambda * w[i]
+		}
+		var gb float64
+		for i, x := range xs {
+			p := sigmoid(dot(w, x) + b)
+			diff := (p - float64(ys[i])) / n
+			for j, xj := range x {
+				gw[j] += diff * xj
+			}
+			gb += diff
+		}
+		step := rate / (1 + 0.01*float64(e))
+		for j := range w {
+			w[j] -= step * gw[j]
+		}
+		b -= step * gb
+	}
+	return &logRegModel{w: w, b: b}, nil
+}

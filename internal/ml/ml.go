@@ -1,0 +1,91 @@
+// Package ml implements the supervised learners used by the paper's
+// learning-based covert-channel receiver (§III-d): a Support Vector Machine
+// with RBF kernel trained by Sequential Minimal Optimization (the paper's
+// classifier), plus Random Forest (also named by the paper), logistic
+// regression, and k-nearest-neighbors baselines. Everything is standard
+// library only.
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classifier is a trained binary classifier over float vectors with labels
+// 0 and 1.
+type Classifier interface {
+	// Predict returns the predicted label (0 or 1) for x.
+	Predict(x []float64) int
+	// Name identifies the learner.
+	Name() string
+}
+
+// Trainer builds a classifier from labeled data.
+type Trainer interface {
+	// Train fits a model. Labels must be 0 or 1; every vector must have the
+	// same dimension.
+	Train(xs [][]float64, ys []int) (Classifier, error)
+	Name() string
+}
+
+// ErrBadTrainingSet is returned when the data is empty, ragged, or
+// single-class.
+var ErrBadTrainingSet = errors.New("ml: bad training set")
+
+// validate checks shape and returns the dimension.
+func validate(xs [][]float64, ys []int) (int, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, fmt.Errorf("%w: %d vectors, %d labels", ErrBadTrainingSet, len(xs), len(ys))
+	}
+	dim := len(xs[0])
+	if dim == 0 {
+		return 0, fmt.Errorf("%w: zero-dimensional vectors", ErrBadTrainingSet)
+	}
+	seen := [2]bool{}
+	for i, x := range xs {
+		if len(x) != dim {
+			return 0, fmt.Errorf("%w: vector %d has dim %d, want %d", ErrBadTrainingSet, i, len(x), dim)
+		}
+		if ys[i] != 0 && ys[i] != 1 {
+			return 0, fmt.Errorf("%w: label %d is %d, want 0 or 1", ErrBadTrainingSet, i, ys[i])
+		}
+		seen[ys[i]] = true
+	}
+	if !seen[0] || !seen[1] {
+		return 0, fmt.Errorf("%w: training set contains a single class", ErrBadTrainingSet)
+	}
+	return dim, nil
+}
+
+// Accuracy returns the fraction of samples clf labels correctly.
+func Accuracy(clf Classifier, xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range xs {
+		if clf.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}
+
+// dot returns the inner product of equal-length vectors.
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// sqDist returns ‖a−b‖².
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,299 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"timedice/internal/rng"
+)
+
+// twoBlobs generates two Gaussian blobs in dim dimensions separated along
+// every axis by sep; label 1 for the positive blob.
+func twoBlobs(r *rng.Rand, n, dim int, sep float64) (xs [][]float64, ys []int) {
+	for i := 0; i < n; i++ {
+		y := r.Bit()
+		x := make([]float64, dim)
+		center := -sep / 2
+		if y == 1 {
+			center = sep / 2
+		}
+		for d := range x {
+			x[d] = center + r.NormFloat64()
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys
+}
+
+// xorData generates the classic non-linearly-separable XOR problem.
+func xorData(r *rng.Rand, n int) (xs [][]float64, ys []int) {
+	for i := 0; i < n; i++ {
+		a, b := r.Bit(), r.Bit()
+		x := []float64{float64(a)*4 - 2 + 0.3*r.NormFloat64(), float64(b)*4 - 2 + 0.3*r.NormFloat64()}
+		xs = append(xs, x)
+		ys = append(ys, a^b)
+	}
+	return xs, ys
+}
+
+func trainEval(t *testing.T, tr Trainer, xs [][]float64, ys []int, tx [][]float64, ty []int) float64 {
+	t.Helper()
+	clf, err := tr.Train(xs, ys)
+	if err != nil {
+		t.Fatalf("%s: %v", tr.Name(), err)
+	}
+	return Accuracy(clf, tx, ty)
+}
+
+func TestAllLearnersOnSeparableBlobs(t *testing.T) {
+	r := rng.New(1)
+	xs, ys := twoBlobs(r, 400, 5, 4)
+	tx, ty := twoBlobs(r, 400, 5, 4)
+	for _, tr := range []Trainer{SVM{}, LogReg{}, Forest{}, KNN{}} {
+		if acc := trainEval(t, tr, xs, ys, tx, ty); acc < 0.93 {
+			t.Errorf("%s: accuracy %.3f on separable blobs, want >= 0.93", tr.Name(), acc)
+		}
+	}
+}
+
+func TestNonlinearLearnersOnXOR(t *testing.T) {
+	r := rng.New(2)
+	xs, ys := xorData(r, 500)
+	tx, ty := xorData(r, 500)
+	// RBF-SVM, forest and kNN handle XOR; linear logistic regression cannot.
+	for _, tr := range []Trainer{SVM{C: 5, Gamma: 0.5}, Forest{Trees: 40}, KNN{K: 7}} {
+		if acc := trainEval(t, tr, xs, ys, tx, ty); acc < 0.9 {
+			t.Errorf("%s: accuracy %.3f on XOR, want >= 0.9", tr.Name(), acc)
+		}
+	}
+	if acc := trainEval(t, LogReg{}, xs, ys, tx, ty); acc > 0.7 {
+		t.Errorf("logreg on XOR: accuracy %.3f — a linear model should fail (sanity of the data)", acc)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, tr := range []Trainer{SVM{}, LogReg{}, Forest{}, KNN{}} {
+		if _, err := tr.Train(nil, nil); err == nil {
+			t.Errorf("%s: empty set accepted", tr.Name())
+		}
+		if _, err := tr.Train([][]float64{{1}, {2}}, []int{0, 0}); err == nil {
+			t.Errorf("%s: single-class set accepted", tr.Name())
+		}
+		if _, err := tr.Train([][]float64{{1}, {2, 3}}, []int{0, 1}); err == nil {
+			t.Errorf("%s: ragged set accepted", tr.Name())
+		}
+		if _, err := tr.Train([][]float64{{1}, {2}}, []int{0, 2}); err == nil {
+			t.Errorf("%s: bad label accepted", tr.Name())
+		}
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	clf, err := KNN{}.Train([][]float64{{0}, {1}}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Accuracy(clf, nil, nil) != 0 {
+		t.Error("accuracy on empty test set should be 0")
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	r := rng.New(3)
+	xs, ys := twoBlobs(r, 200, 4, 3)
+	probe := make([]float64, 4)
+	a, err := SVM{}.Train(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SVM{}.Train(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		for d := range probe {
+			probe[d] = 4*rFloat(r) - 2
+		}
+		if a.Predict(probe) != b.Predict(probe) {
+			t.Fatal("SVM training is not deterministic")
+		}
+	}
+}
+
+func rFloat(r *rng.Rand) float64 { return r.Float64() }
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	r := rng.New(4)
+	xs, ys := twoBlobs(r, 200, 4, 3)
+	a, _ := Forest{Seed: 9}.Train(xs, ys)
+	b, _ := Forest{Seed: 9}.Train(xs, ys)
+	tx, ty := twoBlobs(r, 100, 4, 3)
+	if Accuracy(a, tx, ty) != Accuracy(b, tx, ty) {
+		t.Error("forest with fixed seed is not deterministic")
+	}
+}
+
+func TestKNNSmallK(t *testing.T) {
+	xs := [][]float64{{0}, {0.1}, {10}, {10.1}}
+	ys := []int{0, 0, 1, 1}
+	clf, err := KNN{K: 1}.Train(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf.Predict([]float64{0.2}) != 0 || clf.Predict([]float64{9.9}) != 1 {
+		t.Error("1-NN misclassifies trivial points")
+	}
+}
+
+func TestLogRegProbabilityMonotone(t *testing.T) {
+	// On a 1-D threshold problem, predictions must be monotone in x.
+	r := rng.New(5)
+	var xs [][]float64
+	var ys []int
+	for i := 0; i < 500; i++ {
+		v := 4*r.Float64() - 2
+		y := 0
+		if v > 0 {
+			y = 1
+		}
+		xs = append(xs, []float64{v})
+		ys = append(ys, y)
+	}
+	clf, err := LogReg{Epochs: 500}.Train(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := clf.Predict([]float64{-2})
+	for x := -2.0; x <= 2; x += 0.05 {
+		cur := clf.Predict([]float64{x})
+		if cur < prev {
+			t.Fatalf("non-monotone predictions at x=%v", x)
+		}
+		prev = cur
+	}
+	if clf.Predict([]float64{-1.5}) != 0 || clf.Predict([]float64{1.5}) != 1 {
+		t.Error("threshold problem misclassified")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if sigmoid(0) != 0.5 {
+		t.Error("sigmoid(0) != 0.5")
+	}
+	if s := sigmoid(50); math.Abs(s-1) > 1e-9 {
+		t.Errorf("sigmoid(50) = %v", s)
+	}
+	if s := sigmoid(-50); s > 1e-9 {
+		t.Errorf("sigmoid(-50) = %v", s)
+	}
+	// Numerical symmetry: σ(-z) = 1 - σ(z).
+	for _, z := range []float64{0.1, 1, 3, 10} {
+		if math.Abs(sigmoid(-z)-(1-sigmoid(z))) > 1e-12 {
+			t.Errorf("sigmoid asymmetry at %v", z)
+		}
+	}
+}
+
+func TestKernelCacheConsistency(t *testing.T) {
+	r := rng.New(6)
+	xs, _ := twoBlobs(r, 50, 3, 2)
+	k := newKernelCache(xs, 0.3)
+	for i := 0; i < 50; i += 7 {
+		for j := 0; j < 50; j += 11 {
+			want := math.Exp(-0.3 * sqDist(xs[i], xs[j]))
+			if got := k.at(i, j); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("kernel(%d,%d) = %v, want %v", i, j, got, want)
+			}
+			if got := k.row(i)[j]; math.Abs(got-want) > 1e-12 {
+				t.Fatalf("row kernel(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestBinaryVectorsLikeExecutionVectors(t *testing.T) {
+	// The covert-channel receiver feeds 0/1 vectors with class-dependent
+	// column densities; every learner should beat 0.8 on a clean version.
+	r := rng.New(8)
+	const dim = 60
+	gen := func(n int) ([][]float64, []int) {
+		var xs [][]float64
+		var ys []int
+		for i := 0; i < n; i++ {
+			y := r.Bit()
+			x := make([]float64, dim)
+			for d := range x {
+				p := 0.3
+				if y == 1 && d >= dim/2 {
+					p = 0.7
+				}
+				if r.Bool(p) {
+					x[d] = 1
+				}
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		return xs, ys
+	}
+	xs, ys := gen(400)
+	tx, ty := gen(400)
+	for _, tr := range []Trainer{SVM{}, LogReg{}, Forest{}, KNN{}} {
+		if acc := trainEval(t, tr, xs, ys, tx, ty); acc < 0.8 {
+			t.Errorf("%s: accuracy %.3f on execution-vector-like data", tr.Name(), acc)
+		}
+	}
+}
+
+func TestNaiveBayesOnBinaryVectors(t *testing.T) {
+	r := rng.New(21)
+	const dim = 60
+	gen := func(n int) ([][]float64, []int) {
+		var xs [][]float64
+		var ys []int
+		for i := 0; i < n; i++ {
+			y := r.Bit()
+			x := make([]float64, dim)
+			for d := range x {
+				p := 0.25
+				if y == 1 && d >= dim/2 {
+					p = 0.75
+				}
+				if r.Bool(p) {
+					x[d] = 1
+				}
+			}
+			xs = append(xs, x)
+			ys = append(ys, y)
+		}
+		return xs, ys
+	}
+	xs, ys := gen(400)
+	tx, ty := gen(400)
+	if acc := trainEval(t, NaiveBayes{}, xs, ys, tx, ty); acc < 0.9 {
+		t.Errorf("naive bayes accuracy %.3f on Bernoulli data, want >= 0.9", acc)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	if _, err := (NaiveBayes{}).Train(nil, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := (NaiveBayes{}).Train([][]float64{{1}, {0}}, []int{1, 1}); err == nil {
+		t.Error("single-class set accepted")
+	}
+}
+
+func TestNaiveBayesSkewedPrior(t *testing.T) {
+	// With identical likelihoods, the prior decides.
+	xs := [][]float64{{1}, {1}, {1}, {1}, {1}, {0}}
+	ys := []int{1, 1, 1, 1, 1, 0}
+	clf, err := NaiveBayes{}.Train(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clf.Predict([]float64{1}) != 1 {
+		t.Error("majority-class feature should predict 1")
+	}
+}

@@ -1,0 +1,94 @@
+package ml
+
+import "math"
+
+// NaiveBayes is a Bernoulli naive Bayes classifier: the natural generative
+// model for the receiver's binary execution vectors (each micro-interval is
+// a Bernoulli "did I run here" feature). It is fast, interpretable (its
+// per-feature log-odds ARE the Fig. 4(b)/13 column densities), and serves as
+// a middle ground between the response-time decoder and the SVM.
+type NaiveBayes struct {
+	// Alpha is the Laplace smoothing constant (default 1).
+	Alpha float64
+	// Threshold binarizes features (feature > Threshold ⇒ 1; default 0.5).
+	Threshold float64
+}
+
+var _ Trainer = NaiveBayes{}
+
+// Name implements Trainer.
+func (NaiveBayes) Name() string { return "naive-bayes" }
+
+type nbModel struct {
+	logPrior [2]float64
+	// logOn[c][d] / logOff[c][d]: log P(x_d=1|c), log P(x_d=0|c).
+	logOn, logOff [2][]float64
+	threshold     float64
+}
+
+var _ Classifier = (*nbModel)(nil)
+
+func (m *nbModel) Name() string { return "naive-bayes" }
+
+// Predict implements Classifier.
+func (m *nbModel) Predict(x []float64) int {
+	score := [2]float64{m.logPrior[0], m.logPrior[1]}
+	for c := 0; c < 2; c++ {
+		on, off := m.logOn[c], m.logOff[c]
+		for d, v := range x {
+			if d >= len(on) {
+				break
+			}
+			if v > m.threshold {
+				score[c] += on[d]
+			} else {
+				score[c] += off[d]
+			}
+		}
+	}
+	if score[1] >= score[0] {
+		return 1
+	}
+	return 0
+}
+
+// Train implements Trainer.
+func (nb NaiveBayes) Train(xs [][]float64, ys []int) (Classifier, error) {
+	dim, err := validate(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	alpha := nb.Alpha
+	if alpha <= 0 {
+		alpha = 1
+	}
+	threshold := nb.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+
+	var n [2]float64
+	on := [2][]float64{make([]float64, dim), make([]float64, dim)}
+	for i, x := range xs {
+		c := ys[i] & 1
+		n[c]++
+		for d, v := range x {
+			if v > threshold {
+				on[c][d]++
+			}
+		}
+	}
+	m := &nbModel{threshold: threshold}
+	total := n[0] + n[1]
+	for c := 0; c < 2; c++ {
+		m.logPrior[c] = math.Log((n[c] + alpha) / (total + 2*alpha))
+		m.logOn[c] = make([]float64, dim)
+		m.logOff[c] = make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			p := (on[c][d] + alpha) / (n[c] + 2*alpha)
+			m.logOn[c][d] = math.Log(p)
+			m.logOff[c][d] = math.Log(1 - p)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,270 @@
+package ml
+
+import (
+	"math"
+)
+
+// SVM trains a soft-margin binary SVM with an RBF kernel using a simplified
+// Sequential Minimal Optimization (Platt's SMO with the standard
+// first/second-heuristic working-set selection), matching the paper's
+// "SVM with Radial Basis Function kernel" receiver.
+type SVM struct {
+	// C is the soft-margin penalty (default 1).
+	C float64
+	// Gamma is the RBF width exp(-Gamma‖x−y‖²); 0 ⇒ 1/dim ("scale"-ish).
+	Gamma float64
+	// Tol is the KKT tolerance (default 1e-3).
+	Tol float64
+	// MaxPasses is the number of consecutive full passes without updates
+	// before stopping (default 3).
+	MaxPasses int
+	// MaxIter caps total optimization sweeps (default 300).
+	MaxIter int
+}
+
+var _ Trainer = SVM{}
+
+// Name implements Trainer.
+func (s SVM) Name() string { return "svm-rbf" }
+
+type svmModel struct {
+	vectors [][]float64
+	alphaY  []float64 // α_i·y_i for support vectors
+	b       float64
+	gamma   float64
+}
+
+var _ Classifier = (*svmModel)(nil)
+
+func (m *svmModel) Name() string { return "svm-rbf" }
+
+func (m *svmModel) decision(x []float64) float64 {
+	sum := -m.b
+	for i, v := range m.vectors {
+		sum += m.alphaY[i] * math.Exp(-m.gamma*sqDist(v, x))
+	}
+	return sum
+}
+
+// Predict implements Classifier.
+func (m *svmModel) Predict(x []float64) int {
+	if m.decision(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Train implements Trainer.
+func (s SVM) Train(xs [][]float64, ys []int) (Classifier, error) {
+	dim, err := validate(xs, ys)
+	if err != nil {
+		return nil, err
+	}
+	c := s.C
+	if c <= 0 {
+		c = 1
+	}
+	gamma := s.Gamma
+	if gamma <= 0 {
+		gamma = 1 / float64(dim)
+	}
+	tol := s.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	maxPasses := s.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 3
+	}
+	maxIter := s.MaxIter
+	if maxIter <= 0 {
+		maxIter = 300
+	}
+
+	n := len(xs)
+	y := make([]float64, n)
+	for i, l := range ys {
+		if l == 1 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+
+	kern := newKernelCache(xs, gamma)
+	alpha := make([]float64, n)
+	var b float64
+
+	// f(i) = decision value for sample i under current (alpha, b).
+	f := func(i int) float64 {
+		sum := -b
+		row := kern.row(i)
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				sum += alpha[j] * y[j] * row[j]
+			}
+		}
+		return sum
+	}
+
+	// rnd: a tiny deterministic LCG for the second-choice heuristic fallback,
+	// so training is reproducible.
+	var lcg uint64 = 0x2545F4914F6CDD1D
+	nextRand := func(n int) int {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return int((lcg >> 33) % uint64(n))
+	}
+
+	passes := 0
+	for iter := 0; passes < maxPasses && iter < maxIter; iter++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - y[i]
+			if (y[i]*ei < -tol && alpha[i] < c) || (y[i]*ei > tol && alpha[i] > 0) {
+				j := nextRand(n - 1)
+				if j >= i {
+					j++
+				}
+				ej := f(j) - y[j]
+
+				ai, aj := alpha[i], alpha[j]
+				var lo, hi float64
+				if y[i] != y[j] {
+					lo = math.Max(0, aj-ai)
+					hi = math.Min(c, c+aj-ai)
+				} else {
+					lo = math.Max(0, ai+aj-c)
+					hi = math.Min(c, ai+aj)
+				}
+				if lo == hi {
+					continue
+				}
+				kii := kern.at(i, i)
+				kjj := kern.at(j, j)
+				kij := kern.at(i, j)
+				eta := 2*kij - kii - kjj
+				if eta >= 0 {
+					continue
+				}
+				ajNew := aj - y[j]*(ei-ej)/eta
+				if ajNew > hi {
+					ajNew = hi
+				} else if ajNew < lo {
+					ajNew = lo
+				}
+				if math.Abs(ajNew-aj) < 1e-5 {
+					continue
+				}
+				aiNew := ai + y[i]*y[j]*(aj-ajNew)
+
+				b1 := b + ei + y[i]*(aiNew-ai)*kii + y[j]*(ajNew-aj)*kij
+				b2 := b + ej + y[i]*(aiNew-ai)*kij + y[j]*(ajNew-aj)*kjj
+				switch {
+				case aiNew > 0 && aiNew < c:
+					b = b1
+				case ajNew > 0 && ajNew < c:
+					b = b2
+				default:
+					b = (b1 + b2) / 2
+				}
+				alpha[i], alpha[j] = aiNew, ajNew
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	// Keep only support vectors.
+	m := &svmModel{gamma: gamma, b: b}
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-9 {
+			m.vectors = append(m.vectors, xs[i])
+			m.alphaY = append(m.alphaY, alpha[i]*y[i])
+		}
+	}
+	return m, nil
+}
+
+// kernelCache computes and caches RBF kernel rows. For small n it
+// materializes the full Gram matrix; for large n it keeps a bounded set of
+// rows and recomputes on miss.
+type kernelCache struct {
+	xs    [][]float64
+	gamma float64
+	full  [][]float64 // nil when too large
+	rows  map[int][]float64
+	order []int // FIFO eviction
+	limit int
+}
+
+const fullKernelLimit = 2200 // ≈38 MB of float64 at the limit
+
+func newKernelCache(xs [][]float64, gamma float64) *kernelCache {
+	k := &kernelCache{xs: xs, gamma: gamma}
+	n := len(xs)
+	if n <= fullKernelLimit {
+		k.full = make([][]float64, n)
+		for i := range k.full {
+			k.full[i] = make([]float64, n)
+			for j := 0; j <= i; j++ {
+				v := math.Exp(-gamma * sqDist(xs[i], xs[j]))
+				k.full[i][j] = v
+				k.full[j][i] = v // fills lower triangle of later rows lazily
+			}
+		}
+		// Complete the upper triangles (rows j<i were only partially filled
+		// when row i was built); easiest is symmetric copy.
+		for i := range k.full {
+			for j := i + 1; j < n; j++ {
+				k.full[i][j] = k.full[j][i]
+			}
+		}
+		return k
+	}
+	k.rows = make(map[int][]float64)
+	k.limit = 256
+	return k
+}
+
+func (k *kernelCache) computeRow(i int) []float64 {
+	row := make([]float64, len(k.xs))
+	for j := range k.xs {
+		row[j] = math.Exp(-k.gamma * sqDist(k.xs[i], k.xs[j]))
+	}
+	return row
+}
+
+func (k *kernelCache) row(i int) []float64 {
+	if k.full != nil {
+		return k.full[i]
+	}
+	if r, ok := k.rows[i]; ok {
+		return r
+	}
+	r := k.computeRow(i)
+	if len(k.order) >= k.limit {
+		evict := k.order[0]
+		k.order = k.order[1:]
+		delete(k.rows, evict)
+	}
+	k.rows[i] = r
+	k.order = append(k.order, i)
+	return r
+}
+
+func (k *kernelCache) at(i, j int) float64 {
+	if k.full != nil {
+		return k.full[i][j]
+	}
+	if r, ok := k.rows[i]; ok {
+		return r[j]
+	}
+	if r, ok := k.rows[j]; ok {
+		return r[i]
+	}
+	return math.Exp(-k.gamma * sqDist(k.xs[i], k.xs[j]))
+}

@@ -1,0 +1,38 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadSystem checks the JSON parser never panics and that anything it
+// accepts survives a marshal/unmarshal round trip and builds cleanly.
+func FuzzReadSystem(f *testing.F) {
+	f.Add(`{"name":"x","partitions":[{"name":"P","periodMillis":10,"budgetMillis":2,"tasks":[{"name":"t","periodMillis":20,"wcetMillis":1}]}]}`)
+	f.Add(`{"name":"","partitions":[]}`)
+	f.Add(`{`)
+	f.Add(`{"partitions":[{"periodMillis":-5,"budgetMillis":1e308,"tasks":[{}]}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		spec, err := ReadSystem(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails validation: %v\ninput: %q", err, doc)
+		}
+		data, err := spec.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted spec fails to marshal: %v", err)
+		}
+		back, err := ReadSystem(strings.NewReader(string(data)))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\nmarshaled: %s", err, data)
+		}
+		if len(back.Partitions) != len(spec.Partitions) {
+			t.Fatalf("round trip changed partition count")
+		}
+		if _, err := spec.Build(); err != nil {
+			t.Fatalf("accepted spec fails to build: %v", err)
+		}
+	})
+}

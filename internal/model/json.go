@@ -1,0 +1,123 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"timedice/internal/server"
+	"timedice/internal/vtime"
+)
+
+// The JSON schema uses milliseconds (floats) for all durations and lowercase
+// server-policy names, e.g.:
+//
+//	{
+//	  "name": "demo",
+//	  "partitions": [
+//	    {"name": "P1", "periodMillis": 20, "budgetMillis": 3.2,
+//	     "server": "polling",
+//	     "tasks": [{"name": "t1", "periodMillis": 40, "wcetMillis": 1.2}]}
+//	  ]
+//	}
+
+type jsonSystem struct {
+	Name       string          `json:"name"`
+	Partitions []jsonPartition `json:"partitions"`
+}
+
+type jsonPartition struct {
+	Name         string     `json:"name"`
+	PeriodMillis float64    `json:"periodMillis"`
+	BudgetMillis float64    `json:"budgetMillis"`
+	Server       string     `json:"server,omitempty"`
+	Tasks        []jsonTask `json:"tasks"`
+}
+
+type jsonTask struct {
+	Name           string  `json:"name"`
+	PeriodMillis   float64 `json:"periodMillis"`
+	WCETMillis     float64 `json:"wcetMillis"`
+	DeadlineMillis float64 `json:"deadlineMillis,omitempty"`
+	OffsetMillis   float64 `json:"offsetMillis,omitempty"`
+}
+
+// MarshalJSON renders the spec in the documented schema.
+func (s SystemSpec) MarshalJSON() ([]byte, error) {
+	js := jsonSystem{Name: s.Name}
+	for _, p := range s.Partitions {
+		jp := jsonPartition{
+			Name:         p.Name,
+			PeriodMillis: p.Period.Milliseconds(),
+			BudgetMillis: p.Budget.Milliseconds(),
+		}
+		if p.Server != 0 {
+			jp.Server = p.Server.String()
+		}
+		for _, t := range p.Tasks {
+			jp.Tasks = append(jp.Tasks, jsonTask{
+				Name:           t.Name,
+				PeriodMillis:   t.Period.Milliseconds(),
+				WCETMillis:     t.WCET.Milliseconds(),
+				DeadlineMillis: t.Deadline.Milliseconds(),
+				OffsetMillis:   t.Offset.Milliseconds(),
+			})
+		}
+		js.Partitions = append(js.Partitions, jp)
+	}
+	return json.MarshalIndent(js, "", "  ")
+}
+
+// UnmarshalJSON parses the documented schema and validates the result.
+func (s *SystemSpec) UnmarshalJSON(data []byte) error {
+	var js jsonSystem
+	if err := json.Unmarshal(data, &js); err != nil {
+		return fmt.Errorf("model: parse system: %w", err)
+	}
+	out := SystemSpec{Name: js.Name}
+	for _, jp := range js.Partitions {
+		ps := PartitionSpec{
+			Name:   jp.Name,
+			Period: vtime.FromFloatMS(jp.PeriodMillis),
+			Budget: vtime.FromFloatMS(jp.BudgetMillis),
+		}
+		switch jp.Server {
+		case "", "polling":
+			ps.Server = server.Polling
+		case "deferrable":
+			ps.Server = server.Deferrable
+		case "sporadic":
+			ps.Server = server.Sporadic
+		default:
+			return fmt.Errorf("model: partition %q: unknown server policy %q", jp.Name, jp.Server)
+		}
+		for _, jt := range jp.Tasks {
+			ps.Tasks = append(ps.Tasks, TaskSpec{
+				Name:     jt.Name,
+				Period:   vtime.FromFloatMS(jt.PeriodMillis),
+				WCET:     vtime.FromFloatMS(jt.WCETMillis),
+				Deadline: vtime.FromFloatMS(jt.DeadlineMillis),
+				Offset:   vtime.FromFloatMS(jt.OffsetMillis),
+			})
+		}
+		out.Partitions = append(out.Partitions, ps)
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*s = out
+	return nil
+}
+
+// ReadSystem parses a system spec from r.
+func ReadSystem(r io.Reader) (SystemSpec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return SystemSpec{}, fmt.Errorf("model: read system: %w", err)
+	}
+	var s SystemSpec
+	if err := s.UnmarshalJSON(data); err != nil {
+		return SystemSpec{}, err
+	}
+	return s, nil
+}

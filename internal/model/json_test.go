@@ -1,0 +1,91 @@
+package model
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"timedice/internal/server"
+	"timedice/internal/vtime"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := validSpec()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SystemSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || len(back.Partitions) != len(orig.Partitions) {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	for i, p := range orig.Partitions {
+		bp := back.Partitions[i]
+		if bp.Name != p.Name || bp.Period != p.Period || bp.Budget != p.Budget {
+			t.Errorf("partition %d mismatch: %+v vs %+v", i, bp, p)
+		}
+		wantServer := p.Server
+		if wantServer == 0 {
+			wantServer = server.Polling
+		}
+		if bp.Server != wantServer {
+			t.Errorf("partition %d server %v, want %v", i, bp.Server, wantServer)
+		}
+		if len(bp.Tasks) != len(p.Tasks) {
+			t.Fatalf("partition %d task count", i)
+		}
+		for j, tk := range p.Tasks {
+			bt := bp.Tasks[j]
+			if bt != tk {
+				t.Errorf("task (%d,%d) mismatch: %+v vs %+v", i, j, bt, tk)
+			}
+		}
+	}
+}
+
+func TestReadSystem(t *testing.T) {
+	const doc = `{
+	  "name": "demo",
+	  "partitions": [
+	    {"name": "P1", "periodMillis": 20, "budgetMillis": 3.2,
+	     "tasks": [{"name": "t1", "periodMillis": 40, "wcetMillis": 1.2}]},
+	    {"name": "P2", "periodMillis": 50, "budgetMillis": 8, "server": "deferrable",
+	     "tasks": [{"name": "t2", "periodMillis": 100, "wcetMillis": 3, "deadlineMillis": 80, "offsetMillis": 5}]}
+	  ]
+	}`
+	spec, err := ReadSystem(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "demo" || len(spec.Partitions) != 2 {
+		t.Fatalf("parsed: %+v", spec)
+	}
+	p1 := spec.Partitions[0]
+	if p1.Budget != vtime.FromFloatMS(3.2) || p1.Server != server.Polling {
+		t.Errorf("P1: %+v", p1)
+	}
+	t2 := spec.Partitions[1].Tasks[0]
+	if t2.Deadline != vtime.MS(80) || t2.Offset != vtime.MS(5) {
+		t.Errorf("t2: %+v", t2)
+	}
+	if _, err := spec.Build(); err != nil {
+		t.Errorf("parsed spec should build: %v", err)
+	}
+}
+
+func TestReadSystemRejectsBad(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"name":"x","partitions":[{"name":"P","periodMillis":10,"budgetMillis":20,"tasks":[{"name":"t","periodMillis":10,"wcetMillis":1}]}]}`, // budget > period
+		`{"name":"x","partitions":[{"name":"P","periodMillis":10,"budgetMillis":2,"server":"weird","tasks":[{"name":"t","periodMillis":10,"wcetMillis":1}]}]}`,
+		`{"name":"x","partitions":[]}`,
+	}
+	for i, doc := range cases {
+		if _, err := ReadSystem(strings.NewReader(doc)); err == nil {
+			t.Errorf("case %d: bad document accepted", i)
+		}
+	}
+}

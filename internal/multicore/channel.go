@@ -1,0 +1,164 @@
+package multicore
+
+import (
+	"fmt"
+
+	"timedice/internal/model"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+	"timedice/internal/task"
+	"timedice/internal/vtime"
+)
+
+// ChannelConfig is the cross-core covert-channel experiment: the §III sender
+// and receiver are placed per the assignment, and the receiver tries to
+// decode the sender's bits from its own response times.
+type ChannelConfig struct {
+	Spec       model.SystemSpec
+	Assignment Assignment
+	// Sender and Receiver are partition indices into Spec.Partitions.
+	Sender, Receiver int
+	// Window is the monitoring window (default 3× the receiver's period).
+	Window vtime.Duration
+	// Windows is the number of signaled bits (default 1000).
+	Windows int
+	Policy  policies.Kind
+	Seed    uint64
+}
+
+// ChannelResult reports the decoding accuracy and the placement relation.
+type ChannelResult struct {
+	Accuracy float64
+	SameCore bool
+	Windows  int
+}
+
+// Channel runs the experiment. With sender and receiver on the same core the
+// channel behaves as in the uniprocessor experiments; across cores the
+// shared-CPU medium is gone and the accuracy collapses to a coin flip.
+func Channel(cfg ChannelConfig) (*ChannelResult, error) {
+	if cfg.Sender == cfg.Receiver {
+		return nil, fmt.Errorf("multicore: sender and receiver must differ")
+	}
+	spec := cfg.Spec
+	if cfg.Window <= 0 {
+		cfg.Window = 3 * spec.Partitions[cfg.Receiver].Period
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = 1000
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = policies.NoRandom
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+
+	// Replace the channel partitions' tasks, as in the uniprocessor
+	// experiment: the sender's task consumes its budget per the bit; the
+	// receiver's task is a per-window code block.
+	parts := make([]model.PartitionSpec, len(spec.Partitions))
+	copy(parts, spec.Partitions)
+	sBudget := parts[cfg.Sender].Budget
+	parts[cfg.Sender].Tasks = []model.TaskSpec{{
+		Name: "sender", Period: cfg.Window / 3, WCET: sBudget,
+	}}
+	rSpec := parts[cfg.Receiver]
+	supply := rSpec.Budget.Scale(int64(cfg.Window), int64(rSpec.Period))
+	demand := vtime.Duration(0.9 * float64(supply))
+	if demand < vtime.Millisecond {
+		demand = vtime.Millisecond
+	}
+	parts[cfg.Receiver].Tasks = []model.TaskSpec{{
+		Name: "receiver", Period: cfg.Window, WCET: demand, Deadline: 8 * cfg.Window,
+	}}
+	spec.Partitions = parts
+
+	sys, err := New(spec, cfg.Assignment, cfg.Policy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	bits := make([]int, cfg.Windows+6)
+	r := rng.New(cfg.Seed ^ 0xbeef)
+	for i := range bits {
+		bits[i] = r.Bit()
+	}
+
+	senderCore := sys.SourceCore[cfg.Sender]
+	receiverCore := sys.SourceCore[cfg.Receiver]
+	senderName := spec.Partitions[cfg.Sender].Name
+	receiverName := spec.Partitions[cfg.Receiver].Name
+
+	sTask := sys.Built[senderCore].Task[model.TaskKey(senderName, "sender")]
+	sTask.ExecFn = func(_ int64, arrival vtime.Time) vtime.Duration {
+		w := int(arrival / vtime.Time(cfg.Window))
+		if w >= len(bits) {
+			w = len(bits) - 1
+		}
+		if bits[w] == 1 {
+			return sBudget
+		}
+		return 10 * vtime.Microsecond
+	}
+
+	responses := make(map[int64]vtime.Duration, cfg.Windows)
+	sys.Built[receiverCore].Sched[receiverName].OnComplete = func(c task.Completion) {
+		if c.Job.Task.Name == "receiver" {
+			responses[c.Job.Index] = c.Response
+		}
+	}
+
+	sys.Run(vtime.Time(vtime.Duration(cfg.Windows+6) * cfg.Window))
+
+	// Threshold decoder profiled on the first half.
+	half := cfg.Windows / 2
+	var sum0, sum1 float64
+	var n0, n1 int
+	for k := 0; k < half; k++ {
+		resp, ok := responses[int64(k)]
+		if !ok {
+			continue
+		}
+		if bits[k] == 0 {
+			sum0 += resp.Milliseconds()
+			n0++
+		} else {
+			sum1 += resp.Milliseconds()
+			n1++
+		}
+	}
+	if n0 == 0 || n1 == 0 {
+		return nil, fmt.Errorf("multicore: profile phase incomplete")
+	}
+	m0, m1 := sum0/float64(n0), sum1/float64(n1)
+	threshold := (m0 + m1) / 2
+	inverted := m1 < m0
+
+	correct, total := 0, 0
+	for k := half; k < cfg.Windows; k++ {
+		resp, ok := responses[int64(k)]
+		if !ok {
+			continue
+		}
+		total++
+		bit := 0
+		if resp.Milliseconds() > threshold {
+			bit = 1
+		}
+		if inverted {
+			bit = 1 - bit
+		}
+		if bit == bits[k] {
+			correct++
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("multicore: no test observations")
+	}
+	return &ChannelResult{
+		Accuracy: float64(correct) / float64(total),
+		SameCore: senderCore == receiverCore,
+		Windows:  total,
+	}, nil
+}

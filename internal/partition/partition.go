@@ -1,0 +1,68 @@
+// Package partition ties together a priority, a budget server, and a local
+// task scheduler into the real-time partition of the paper's system model
+// (§II): Π_i = (Pri, B_i, T_i, {τ_{i,1}, ..., τ_{i,|Π_i|}}).
+package partition
+
+import (
+	"fmt"
+
+	"timedice/internal/server"
+	"timedice/internal/task"
+	"timedice/internal/vtime"
+)
+
+// Partition is one time partition. Partitions are compared by Priority;
+// a numerically smaller Priority is a higher priority, matching the paper's
+// Pri(Π_i) > Pri(Π_{i+1}) ordering when partitions are declared in index
+// order. Priorities must be unique within a system.
+type Partition struct {
+	Name     string
+	Priority int
+	Server   *server.Server
+	Local    *task.Scheduler
+
+	// Index is the partition's position in its System's priority-ordered
+	// slice; the engine assigns it.
+	Index int
+}
+
+// New builds a partition. tasks are in decreasing local-priority order.
+func New(name string, priority int, srv *server.Server, tasks []*task.Task) (*Partition, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("partition %q: nil server", name)
+	}
+	local, err := task.NewScheduler(tasks)
+	if err != nil {
+		return nil, fmt.Errorf("partition %q: %w", name, err)
+	}
+	return &Partition{Name: name, Priority: priority, Server: srv, Local: local}, nil
+}
+
+// Active reports whether the partition has non-zero remaining budget
+// (the paper's Definition of "active").
+func (p *Partition) Active() bool { return p.Server.Active() }
+
+// Runnable reports whether the partition could make progress if granted the
+// CPU right now: it is active and has a ready job. Under the polling server
+// the two coincide (idle budget is discarded immediately).
+func (p *Partition) Runnable() bool { return p.Server.Active() && p.Local.HasReady() }
+
+// HigherPriorityThan reports whether p has strictly higher priority than o.
+func (p *Partition) HigherPriorityThan(o *Partition) bool { return p.Priority < o.Priority }
+
+// Reset restores server and local-scheduler state for a fresh run.
+func (p *Partition) Reset() {
+	p.Server.Reset()
+	p.Local.Reset()
+}
+
+// NextLocalEvent returns the earliest future instant at which this partition
+// generates a scheduling event on its own: a budget replenishment or a task
+// arrival.
+func (p *Partition) NextLocalEvent() vtime.Time {
+	next := p.Server.NextReplenish()
+	if a := p.Local.NextArrival(); a < next {
+		next = a
+	}
+	return next
+}

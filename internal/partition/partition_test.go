@@ -1,0 +1,80 @@
+package partition
+
+import (
+	"testing"
+
+	"timedice/internal/server"
+	"timedice/internal/task"
+	"timedice/internal/vtime"
+)
+
+func newPart(t *testing.T) *Partition {
+	t.Helper()
+	p, err := New("P", 1, server.MustNew(vtime.MS(2), vtime.MS(10), server.Polling),
+		[]*task.Task{{Name: "t", Period: vtime.MS(20), WCET: vtime.MS(1), Offset: vtime.MS(5)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", 1, nil, nil); err == nil {
+		t.Error("nil server accepted")
+	}
+	if _, err := New("x", 1, server.MustNew(1, 2, server.Polling),
+		[]*task.Task{{Name: "bad", Period: 0, WCET: 1}}); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestActiveVsRunnable(t *testing.T) {
+	p := newPart(t)
+	// Budget full but the task arrives only at 5ms: active yet not runnable.
+	p.Local.ReleaseUpTo(0)
+	if !p.Active() {
+		t.Error("fresh partition must be active")
+	}
+	if p.Runnable() {
+		t.Error("no ready job yet: must not be runnable")
+	}
+	p.Local.ReleaseUpTo(vtime.Time(vtime.MS(5)))
+	if !p.Runnable() {
+		t.Error("job released: must be runnable")
+	}
+	p.Server.Consume(vtime.Time(vtime.MS(5)), vtime.MS(2))
+	if p.Runnable() || p.Active() {
+		t.Error("budget exhausted: inactive and not runnable")
+	}
+}
+
+func TestHigherPriorityThan(t *testing.T) {
+	a, _ := New("a", 1, server.MustNew(1, 2, server.Polling), nil)
+	b, _ := New("b", 2, server.MustNew(1, 2, server.Polling), nil)
+	if !a.HigherPriorityThan(b) || b.HigherPriorityThan(a) {
+		t.Error("priority comparison broken")
+	}
+}
+
+func TestNextLocalEvent(t *testing.T) {
+	p := newPart(t)
+	p.Local.ReleaseUpTo(0)
+	// Next events: replenishment at 10ms, arrival at 5ms → 5ms.
+	if got := p.NextLocalEvent(); got != vtime.Time(vtime.MS(5)) {
+		t.Errorf("next event %v, want 5ms", got)
+	}
+	p.Local.ReleaseUpTo(vtime.Time(vtime.MS(5)))
+	if got := p.NextLocalEvent(); got != vtime.Time(vtime.MS(10)) {
+		t.Errorf("next event %v, want 10ms (replenishment)", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := newPart(t)
+	p.Local.ReleaseUpTo(vtime.Time(vtime.MS(5)))
+	p.Server.Consume(vtime.Time(vtime.MS(5)), vtime.MS(1))
+	p.Reset()
+	if p.Server.Remaining() != vtime.MS(2) || p.Local.HasReady() {
+		t.Error("Reset incomplete")
+	}
+}

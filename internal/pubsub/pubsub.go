@@ -1,0 +1,120 @@
+// Package pubsub models the paper's overt inter-partition communication
+// (§II): an OS-layer message-passing service that requires no
+// synchronization between partitions. Tasks publish messages when their jobs
+// complete (the natural point at which a real-time task emits its outputs —
+// the ROS publish of §III-e), and subscribers receive them at their own next
+// job completion, so communication never blocks either side.
+//
+// The bus records every message, which models the §III-e observation that
+// overt channels "can easily be monitored": the authorized information flow
+// is fully auditable, which is exactly why the adversary needs a covert one.
+package pubsub
+
+import (
+	"fmt"
+
+	"timedice/internal/vtime"
+)
+
+// Message is one published datum.
+type Message struct {
+	Topic     string
+	Publisher string // partition name
+	Payload   any
+	Published vtime.Time
+}
+
+// Delivery is a message received by a subscriber, with latency bookkeeping.
+type Delivery struct {
+	Message
+	Subscriber string
+	Delivered  vtime.Time
+}
+
+// Latency returns the publish-to-delivery delay.
+func (d Delivery) Latency() vtime.Duration { return d.Delivered.Sub(d.Published) }
+
+// Bus is the broker. It is driven entirely by the simulation's completion
+// callbacks; it has no goroutines and no locks (the engine is
+// single-threaded).
+type Bus struct {
+	// queues[topic][subscriber] = pending messages.
+	queues map[string]map[string][]Message
+	// audit is the monitor's log of every publish.
+	audit []Message
+	// deliveries counts per (topic, subscriber).
+	delivered map[string]int
+	// OnDeliver, when non-nil, observes every delivery.
+	OnDeliver func(Delivery)
+}
+
+// NewBus returns an empty broker.
+func NewBus() *Bus {
+	return &Bus{
+		queues:    make(map[string]map[string][]Message),
+		delivered: make(map[string]int),
+	}
+}
+
+// Subscribe registers subscriber (a partition name) on topic. Messages
+// published after the subscription are queued until collected.
+func (b *Bus) Subscribe(topic, subscriber string) {
+	subs, ok := b.queues[topic]
+	if !ok {
+		subs = make(map[string][]Message)
+		b.queues[topic] = subs
+	}
+	if _, ok := subs[subscriber]; !ok {
+		subs[subscriber] = nil
+	}
+}
+
+// Publish enqueues payload for every subscriber of topic at instant now.
+func (b *Bus) Publish(topic, publisher string, payload any, now vtime.Time) {
+	msg := Message{Topic: topic, Publisher: publisher, Payload: payload, Published: now}
+	b.audit = append(b.audit, msg)
+	for sub := range b.queues[topic] {
+		b.queues[topic][sub] = append(b.queues[topic][sub], msg)
+	}
+}
+
+// Collect drains the pending messages of subscriber on topic at instant now
+// (the subscriber's job completion), reporting each as a Delivery.
+func (b *Bus) Collect(topic, subscriber string, now vtime.Time) []Delivery {
+	subs, ok := b.queues[topic]
+	if !ok {
+		return nil
+	}
+	msgs := subs[subscriber]
+	if len(msgs) == 0 {
+		return nil
+	}
+	subs[subscriber] = nil
+	out := make([]Delivery, len(msgs))
+	for i, m := range msgs {
+		out[i] = Delivery{Message: m, Subscriber: subscriber, Delivered: now}
+		b.delivered[topic+"/"+subscriber]++
+		if b.OnDeliver != nil {
+			b.OnDeliver(out[i])
+		}
+	}
+	return out
+}
+
+// Audit returns the monitor's view: every message ever published, in order.
+// The returned slice is a copy.
+func (b *Bus) Audit() []Message {
+	out := make([]Message, len(b.audit))
+	copy(out, b.audit)
+	return out
+}
+
+// Delivered returns the delivery count for topic/subscriber.
+func (b *Bus) Delivered(topic, subscriber string) int {
+	return b.delivered[topic+"/"+subscriber]
+}
+
+// String summarizes the bus state.
+func (b *Bus) String() string {
+	return fmt.Sprintf("pubsub.Bus{topics: %d, published: %d}", len(b.queues), len(b.audit))
+}

@@ -1,0 +1,112 @@
+package pubsub
+
+import (
+	"testing"
+
+	"timedice/internal/engine"
+	"timedice/internal/rng"
+	"timedice/internal/sched"
+	"timedice/internal/task"
+	"timedice/internal/vtime"
+	"timedice/internal/workload"
+)
+
+func TestBasicPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("steer", "behavior")
+	b.Publish("steer", "vision", 42, vtime.Time(vtime.MS(5)))
+	got := b.Collect("steer", "behavior", vtime.Time(vtime.MS(8)))
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	d := got[0]
+	if d.Payload != 42 || d.Publisher != "vision" || d.Latency() != vtime.MS(3) {
+		t.Errorf("delivery %+v", d)
+	}
+	// Drained.
+	if len(b.Collect("steer", "behavior", vtime.Time(vtime.MS(9)))) != 0 {
+		t.Error("queue not drained")
+	}
+	if b.Delivered("steer", "behavior") != 1 {
+		t.Error("delivery counter")
+	}
+}
+
+func TestNoSubscriptionNoDelivery(t *testing.T) {
+	b := NewBus()
+	b.Publish("loc", "planner", "secret", 0)
+	if got := b.Collect("loc", "logger", 0); got != nil {
+		t.Errorf("unsubscribed collect returned %v", got)
+	}
+	// The overt message is still auditable by the monitor.
+	if len(b.Audit()) != 1 {
+		t.Error("audit log missing the publish")
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("cmd", "a")
+	b.Subscribe("cmd", "b")
+	b.Publish("cmd", "src", "x", 0)
+	if len(b.Collect("cmd", "a", 1)) != 1 || len(b.Collect("cmd", "b", 1)) != 1 {
+		t.Error("fan-out failed")
+	}
+}
+
+func TestOnDeliverHook(t *testing.T) {
+	b := NewBus()
+	b.Subscribe("t", "s")
+	var seen []Delivery
+	b.OnDeliver = func(d Delivery) { seen = append(seen, d) }
+	b.Publish("t", "p", 1, 0)
+	b.Publish("t", "p", 2, 0)
+	b.Collect("t", "s", 5)
+	if len(seen) != 2 {
+		t.Errorf("hook saw %d deliveries", len(seen))
+	}
+}
+
+// TestOvertChannelOnCarPlatform wires the bus into the simulated car: the
+// vision task publishes a steering command per job; the behavior task
+// collects at its own completions. Latencies stay bounded by the publishing
+// and collecting tasks' periods, under NoRandom and TimeDice alike.
+func TestOvertChannelOnCarPlatform(t *testing.T) {
+	spec := workload.Car()
+	built, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewBus()
+	bus.Subscribe("steer", "behavior")
+
+	var maxLatency vtime.Duration
+	received := 0
+	built.Sched["vision"].OnComplete = func(c task.Completion) {
+		bus.Publish("steer", "vision", c.Job.Index, c.Finish)
+	}
+	built.Sched["behavior"].OnComplete = func(c task.Completion) {
+		for _, d := range bus.Collect("steer", "behavior", c.Finish) {
+			received++
+			if d.Latency() > maxLatency {
+				maxLatency = d.Latency()
+			}
+		}
+	}
+	sys, err := engine.New(built.Partitions, sched.FixedPriority{}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(vtime.Time(2 * vtime.Second))
+	if received < 30 {
+		t.Fatalf("only %d steering commands delivered", received)
+	}
+	// Bound: one publisher period (50ms) + one collector period (20ms) plus
+	// response times — 100ms is a generous envelope.
+	if maxLatency > vtime.MS(100) {
+		t.Errorf("max overt latency %v", maxLatency)
+	}
+	if len(bus.Audit()) < received {
+		t.Error("audit log incomplete")
+	}
+}

@@ -1,0 +1,179 @@
+// Package sched provides the non-randomized global scheduling policies the
+// paper compares against: the default fixed-priority scheduler of LITMUS^RT
+// (NoRandom) and a static time-division (TDMA / ARINC-653-style) reference
+// that removes the covert channel entirely at the cost of utilization and
+// responsiveness (§III-h).
+package sched
+
+import (
+	"fmt"
+
+	"timedice/internal/engine"
+	"timedice/internal/partition"
+	"timedice/internal/vtime"
+)
+
+// FixedPriority is the paper's NoRandom baseline: at every decision point it
+// selects the highest-priority partition that is active and has ready work,
+// and lets it run until the next natural event.
+type FixedPriority struct{}
+
+var _ engine.GlobalPolicy = FixedPriority{}
+
+// Name implements engine.GlobalPolicy.
+func (FixedPriority) Name() string { return "NoRandom" }
+
+// Quantum implements engine.GlobalPolicy; fixed priority is purely
+// event-driven.
+func (FixedPriority) Quantum() vtime.Duration { return 0 }
+
+// Pick implements engine.GlobalPolicy.
+func (FixedPriority) Pick(sys *engine.System, _ vtime.Time) *partition.Partition {
+	for _, p := range sys.Partitions {
+		if p.Runnable() {
+			return p
+		}
+	}
+	return nil
+}
+
+// NaiveRandom is the strawman the paper's §IV warns about: it randomizes the
+// partition schedule with the same 1 ms quantum as TimeDice but picks
+// uniformly among ALL runnable partitions (plus idling) with no
+// schedulability test at all. Under load, it starves high-priority
+// partitions of their budgets — "unprincipled randomization may lead
+// partitions to miss deadlines" — which the ablation experiment quantifies
+// as per-period budget shortfalls that TimeDice never exhibits.
+type NaiveRandom struct {
+	// Quantum defaults to 1 ms when zero.
+	Slice vtime.Duration
+	// IdleBias is the probability of idling when at least one partition is
+	// runnable (default: idle is one extra uniform option).
+	IdleBias float64
+}
+
+var _ engine.GlobalPolicy = (*NaiveRandom)(nil)
+
+// Name implements engine.GlobalPolicy.
+func (n *NaiveRandom) Name() string { return "NaiveRandom" }
+
+// Quantum implements engine.GlobalPolicy.
+func (n *NaiveRandom) Quantum() vtime.Duration {
+	if n.Slice > 0 {
+		return n.Slice
+	}
+	return vtime.Millisecond
+}
+
+// Pick implements engine.GlobalPolicy.
+func (n *NaiveRandom) Pick(sys *engine.System, _ vtime.Time) *partition.Partition {
+	runnable := sys.Runnable()
+	if len(runnable) == 0 {
+		return nil
+	}
+	if n.IdleBias > 0 {
+		if sys.Rand.Bool(n.IdleBias) {
+			return nil
+		}
+		return runnable[sys.Rand.Intn(len(runnable))]
+	}
+	k := sys.Rand.Intn(len(runnable) + 1)
+	if k == len(runnable) {
+		return nil
+	}
+	return runnable[k]
+}
+
+// TDMA is a static-partitioning reference scheduler: a repeating major frame
+// divided into one slot per partition. A partition may execute only inside
+// its own slot, so no partition can observe another's time consumption —
+// the table-driven scheduling of the ARINC 653 IMA architecture the paper
+// cites as the (low-utilization) way to remove the channel.
+type TDMA struct {
+	frame vtime.Duration
+	// starts[i] / ends[i] delimit partition i's slot within the frame, in
+	// system priority order.
+	starts, ends []vtime.Duration
+}
+
+var (
+	_ engine.GlobalPolicy   = (*TDMA)(nil)
+	_ engine.BoundaryPolicy = (*TDMA)(nil)
+)
+
+// NewTDMA builds a slot table for the given partitions (in priority order).
+// The frame is the GCD of the partition periods and each partition receives a
+// slot of length B_i·frame/T_i, which guarantees it B_i of CPU time per T_i.
+func NewTDMA(parts []*partition.Partition) (*TDMA, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("tdma: no partitions")
+	}
+	frame := parts[0].Server.Period()
+	for _, p := range parts[1:] {
+		frame = gcd(frame, p.Server.Period())
+	}
+	t := &TDMA{frame: frame}
+	var cursor vtime.Duration
+	for _, p := range parts {
+		slot := p.Server.Budget().Scale(int64(frame), int64(p.Server.Period()))
+		if slot <= 0 {
+			return nil, fmt.Errorf("tdma: partition %q slot rounds to zero (budget %v, period %v, frame %v)",
+				p.Name, p.Server.Budget(), p.Server.Period(), frame)
+		}
+		t.starts = append(t.starts, cursor)
+		cursor += slot
+		t.ends = append(t.ends, cursor)
+	}
+	if cursor > frame {
+		return nil, fmt.Errorf("tdma: slots (%v) exceed frame (%v); utilization too high for static partitioning", cursor, frame)
+	}
+	return t, nil
+}
+
+func gcd(a, b vtime.Duration) vtime.Duration {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Frame returns the major-frame length.
+func (t *TDMA) Frame() vtime.Duration { return t.frame }
+
+// Name implements engine.GlobalPolicy.
+func (t *TDMA) Name() string { return "TDMA" }
+
+// Quantum implements engine.GlobalPolicy.
+func (t *TDMA) Quantum() vtime.Duration { return 0 }
+
+// Pick implements engine.GlobalPolicy: the slot owner runs if it can;
+// otherwise the CPU idles (slack is never donated, by design — donation would
+// reopen the channel).
+func (t *TDMA) Pick(sys *engine.System, now vtime.Time) *partition.Partition {
+	off := vtime.Duration(int64(now) % int64(t.frame))
+	for i := range t.starts {
+		if off >= t.starts[i] && off < t.ends[i] {
+			p := sys.Partitions[i]
+			if p.Runnable() {
+				return p
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// NextBoundary implements engine.BoundaryPolicy: the next slot edge.
+func (t *TDMA) NextBoundary(now vtime.Time) vtime.Time {
+	frameStart := now - vtime.Time(int64(now)%int64(t.frame))
+	off := vtime.Duration(now.Sub(frameStart))
+	for i := range t.starts {
+		if off < t.starts[i] {
+			return frameStart.Add(t.starts[i])
+		}
+		if off < t.ends[i] {
+			return frameStart.Add(t.ends[i])
+		}
+	}
+	return frameStart.Add(t.frame)
+}

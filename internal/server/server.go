@@ -1,0 +1,195 @@
+// Package server implements the CPU-budget server algorithms that instantiate
+// priority-based partitions (paper §II and §V-A): the polling server (the
+// behaviour of LITMUS^RT's "sporadic-polling" server used by the paper's
+// implementation), the deferrable server, and the sporadic server.
+//
+// A server owns the budget accounting of one partition: the maximum budget
+// B_i, the replenishment period T_i, the remaining budget B_i(t), and the
+// last replenishment time r_{i,t}. The last two are exactly the quantities
+// the TimeDice schedulability test (Algorithm 3) reads at each decision point.
+package server
+
+import (
+	"fmt"
+
+	"timedice/internal/eventq"
+	"timedice/internal/vtime"
+)
+
+// Policy selects the replenishment/consumption rule.
+type Policy int
+
+const (
+	// Polling replenishes the budget to B at every period boundary and
+	// discards whatever budget remains the moment the partition has no
+	// pending workload. This matches the sporadic-polling server of
+	// LITMUS^RT on which the paper's implementation is based.
+	Polling Policy = iota + 1
+	// Deferrable replenishes to B at every period boundary and retains
+	// unused budget until the end of the period (Strosnider et al.).
+	Deferrable
+	// Sporadic replenishes each consumed chunk one period after the instant
+	// consumption of that chunk began (Sprunt et al.), approximated at the
+	// granularity of dispatch slices.
+	Sporadic
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Polling:
+		return "polling"
+	case Deferrable:
+		return "deferrable"
+	case Sporadic:
+		return "sporadic"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Server is the budget account of one partition. Create one with New.
+type Server struct {
+	budget vtime.Duration // B_i
+	period vtime.Duration // T_i
+	policy Policy
+
+	remaining     vtime.Duration // B_i(t)
+	lastReplenish vtime.Time     // r_{i,t}
+	replQ         eventq.Queue[vtime.Duration]
+}
+
+// New returns a server with maximum budget b replenished every period t under
+// the given policy. The budget is initially full with r_{i,0} = 0.
+func New(b, t vtime.Duration, policy Policy) (*Server, error) {
+	switch {
+	case b <= 0:
+		return nil, fmt.Errorf("server: budget must be positive, got %v", b)
+	case t <= 0:
+		return nil, fmt.Errorf("server: period must be positive, got %v", t)
+	case b > t:
+		return nil, fmt.Errorf("server: budget %v exceeds period %v", b, t)
+	}
+	switch policy {
+	case Polling, Deferrable, Sporadic:
+	default:
+		return nil, fmt.Errorf("server: unknown policy %v", policy)
+	}
+	return &Server{budget: b, period: t, policy: policy, remaining: b}, nil
+}
+
+// MustNew is New but panics on error; for tests and static configurations.
+func MustNew(b, t vtime.Duration, policy Policy) *Server {
+	s, err := New(b, t, policy)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Budget returns B_i.
+func (s *Server) Budget() vtime.Duration { return s.budget }
+
+// Period returns T_i.
+func (s *Server) Period() vtime.Duration { return s.period }
+
+// PolicyKind returns the replenishment policy.
+func (s *Server) PolicyKind() Policy { return s.policy }
+
+// Remaining returns B_i(t), the budget left right now.
+func (s *Server) Remaining() vtime.Duration { return s.remaining }
+
+// Active reports whether the partition is active in the paper's sense:
+// non-zero remaining budget.
+func (s *Server) Active() bool { return s.remaining > 0 }
+
+// LastReplenish returns r_{i,t}, the most recent replenishment instant not
+// later than the current instant. For the sporadic server this is the most
+// recent period boundary (used by analysis as the conservative anchor).
+func (s *Server) LastReplenish() vtime.Time { return s.lastReplenish }
+
+// NextReplenish returns the earliest future instant at which budget will be
+// added.
+func (s *Server) NextReplenish() vtime.Time {
+	periodic := s.lastReplenish.Add(s.period)
+	if s.policy == Sporadic {
+		if t := s.replQ.PeekTime(); t < periodic {
+			return t
+		}
+	}
+	return periodic
+}
+
+// AdvanceTo applies every replenishment event with instant <= now. The engine
+// calls it at every decision point before reading Remaining.
+func (s *Server) AdvanceTo(now vtime.Time) {
+	if s.policy == Sporadic {
+		for _, amount := range s.replQ.PopUntil(now) {
+			s.remaining += amount
+			if s.remaining > s.budget {
+				s.remaining = s.budget
+			}
+		}
+		for s.lastReplenish.Add(s.period) <= now {
+			s.lastReplenish = s.lastReplenish.Add(s.period)
+		}
+		return
+	}
+	for s.lastReplenish.Add(s.period) <= now {
+		s.lastReplenish = s.lastReplenish.Add(s.period)
+		s.remaining = s.budget
+	}
+}
+
+// Consume depletes d of budget for execution beginning at instant start.
+// It panics if d exceeds the remaining budget; the engine never grants a
+// slice longer than Remaining.
+func (s *Server) Consume(start vtime.Time, d vtime.Duration) {
+	if d < 0 || d > s.remaining {
+		panic(fmt.Sprintf("server: consume %v with %v remaining", d, s.remaining))
+	}
+	s.remaining -= d
+	if s.policy == Sporadic && d > 0 {
+		s.replQ.Push(start.Add(s.period), d)
+	}
+}
+
+// NoteIdle tells the server that, at the current instant, the partition has
+// no pending workload. A polling server discards its remaining budget (the
+// defining property that prevents deferred-execution interference); the other
+// policies retain it. It returns true if budget was discarded.
+func (s *Server) NoteIdle(now vtime.Time) bool {
+	if s.policy == Polling && s.remaining > 0 {
+		s.remaining = 0
+		return true
+	}
+	return false
+}
+
+// Deadline returns d_{i,t} = r_{i,t} + T_i, the current budget deadline used
+// by the weighted random selection and by the schedulability test (Eq. 3).
+func (s *Server) Deadline() vtime.Time { return s.lastReplenish.Add(s.period) }
+
+// Utilization returns B_i/T_i.
+func (s *Server) Utilization() float64 {
+	return float64(s.budget) / float64(s.period)
+}
+
+// RemainingUtilization returns u_{i,t} = B_i(t) / (d_{i,t} - t), the quantity
+// the weighted selection of §IV-A2 assigns as the lottery weight. It returns
+// 0 when the deadline is not in the future.
+func (s *Server) RemainingUtilization(now vtime.Time) float64 {
+	den := s.Deadline().Sub(now)
+	if den <= 0 {
+		return 0
+	}
+	return float64(s.remaining) / float64(den)
+}
+
+// Reset restores the initial state: full budget, r = 0, no pending sporadic
+// replenishments.
+func (s *Server) Reset() {
+	s.remaining = s.budget
+	s.lastReplenish = 0
+	s.replQ.Reset()
+}

@@ -1,0 +1,233 @@
+// Package stats provides the small statistics toolkit the evaluation
+// harnesses use: streaming summaries (mean/std/min/max), exact quantiles,
+// five-number box-plot summaries (Fig. 16), percentile tables (Table IV),
+// and fixed-width histograms (Figs. 4a/14).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary accumulates count, mean, variance (Welford), min and max.
+// The zero value is ready to use.
+type Summary struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	hasSamples bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasSamples || x < s.min {
+		s.min = x
+	}
+	if !s.hasSamples || x > s.max {
+		s.max = x
+	}
+	s.hasSamples = true
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Std returns the sample standard deviation (0 with <2 samples).
+func (s *Summary) Std() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.n-1))
+}
+
+// Min returns the smallest observation (0 with no samples).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with no samples).
+func (s *Summary) Max() float64 { return s.max }
+
+// String formats the summary as "avg=.. std=.. min=.. max=.. (n=..)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("avg=%.3f std=%.3f min=%.3f max=%.3f (n=%d)", s.Mean(), s.Std(), s.Min(), s.Max(), s.n)
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs using linear interpolation
+// between order statistics (the same convention as numpy's default). It
+// panics on an empty slice; it does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantiles returns the values at each q in qs with a single sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantiles of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// BoxPlot is the five-number summary plus mean, as rendered in Fig. 16.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// Box computes the five-number summary of xs.
+func Box(xs []float64) BoxPlot {
+	if len(xs) == 0 {
+		return BoxPlot{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	return BoxPlot{
+		Min:    sorted[0],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   sum / float64(len(sorted)),
+		N:      len(sorted),
+	}
+}
+
+// String renders the box plot on one line.
+func (b BoxPlot) String() string {
+	return fmt.Sprintf("min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f mean=%.2f (n=%d)",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean, b.N)
+}
+
+// Histogram is a fixed-bin-width histogram over [Lo, Lo + Width·len(Counts)).
+// Samples outside the range are clamped into the edge bins, which matches
+// how the paper's response-time distributions are plotted (a bounded x-axis).
+type Histogram struct {
+	Lo     float64
+	Width  float64
+	Counts []int64
+	Total  int64
+}
+
+// NewHistogram builds a histogram with n bins of the given width from lo.
+func NewHistogram(lo, width float64, n int) *Histogram {
+	if n <= 0 || width <= 0 {
+		panic("stats: histogram needs positive bins and width")
+	}
+	return &Histogram{Lo: lo, Width: width, Counts: make([]int64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	i := h.BinOf(x)
+	h.Counts[i]++
+	h.Total++
+}
+
+// BinOf returns the (clamped) bin index for x.
+func (h *Histogram) BinOf(x float64) int {
+	i := int(math.Floor((x - h.Lo) / h.Width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	return i
+}
+
+// Density returns the empirical probability of bin i.
+func (h *Histogram) Density(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.Width
+}
+
+// Render draws the histogram as rows of "center | bar count" text, skipping
+// empty leading/trailing regions; width is the maximum bar length.
+func (h *Histogram) Render(width int) string {
+	first, last := -1, -1
+	var peak int64
+	for i, c := range h.Counts {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	if first < 0 {
+		return "(empty histogram)\n"
+	}
+	var sb strings.Builder
+	for i := first; i <= last; i++ {
+		bar := 0
+		if peak > 0 {
+			bar = int(float64(h.Counts[i]) / float64(peak) * float64(width))
+		}
+		fmt.Fprintf(&sb, "%10.2f | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), h.Counts[i])
+	}
+	return sb.String()
+}
+
+// Mean returns the histogram's mean using bin centers.
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.Counts {
+		sum += float64(c) * h.BinCenter(i)
+	}
+	return sum / float64(h.Total)
+}

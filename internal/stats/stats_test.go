@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 {
+		t.Error("zero-value summary not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("n = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Sample std of this classic dataset: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std()-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(-1)
+	if s.Min() != -5 || s.Max() != -1 {
+		t.Errorf("min/max with negatives: %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantilesBatch(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	got := Quantiles(xs, 0, 0.5, 1)
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuantileMatchesSortProperty(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		got := Quantile(xs, q)
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return got >= sorted[0] && got <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBox(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4, 100})
+	if b.Min != 1 || b.Max != 100 || b.Median != 3 || b.N != 5 {
+		t.Errorf("box = %+v", b)
+	}
+	if b.Mean != 22 {
+		t.Errorf("mean = %v", b.Mean)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Errorf("quartiles = %v/%v", b.Q1, b.Q3)
+	}
+	empty := Box(nil)
+	if empty.N != 0 {
+		t.Error("empty box")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5) // bins [0,10) [10,20) ... [40,50)
+	for _, x := range []float64{-5, 0, 9.9, 10, 25, 49, 200} {
+		h.Add(x)
+	}
+	if h.Total != 7 {
+		t.Errorf("total = %d", h.Total)
+	}
+	wantCounts := []int64{3, 1, 1, 0, 2} // -5,0,9.9 | 10 | 25 | | 49,200
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.BinCenter(1) != 15 {
+		t.Errorf("center = %v", h.BinCenter(1))
+	}
+	if d := h.Density(0); math.Abs(d-3.0/7.0) > 1e-12 {
+		t.Errorf("density = %v", d)
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(0, 1, 100)
+	h.Add(10.5)
+	h.Add(20.5)
+	if got := h.Mean(); math.Abs(got-15.5) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	if h.Render(20) != "(empty histogram)\n" {
+		t.Error("empty render")
+	}
+	h.Add(3.5)
+	h.Add(3.7)
+	h.Add(5.2)
+	out := h.Render(20)
+	if out == "" || len(out) < 10 {
+		t.Errorf("render too short: %q", out)
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewHistogram(0, 0, 5)
+}

@@ -1,0 +1,298 @@
+// Package task implements the partition-local task model of the paper's
+// Section II: sporadic tasks τ_{i,j} = (p_{i,j}, e_{i,j}) scheduled by a
+// fixed-priority preemptive local scheduler inside their partition.
+//
+// A Task is the static description; the scheduler owns the runtime state
+// (pending jobs, next arrival). Task priorities follow declaration order:
+// the first task in a scheduler has the highest local priority, matching the
+// paper's Pri(τ_{i,j}) > Pri(τ_{i,j+1}) convention.
+package task
+
+import (
+	"fmt"
+
+	"timedice/internal/vtime"
+)
+
+// Task describes a sporadic real-time task. Period is the minimum
+// inter-arrival time p and WCET the worst-case execution time e. The zero
+// Deadline means an implicit deadline equal to Period.
+//
+// ExecFn and PeriodFn, when non-nil, supply the actual execution demand and
+// the actual inter-arrival gap for the k-th job (k counts from 0). They allow
+// noise tasks to vary their timing "by up to 20%" and allow the covert-channel
+// sender to modulate its budget consumption. Values returned are clamped to
+// [1µs, WCET] and [Period·(anything ≥ 1µs)] respectively by the scheduler;
+// a sender signaling bit 0 returns a tiny demand, bit 1 returns the WCET.
+type Task struct {
+	Name     string
+	Period   vtime.Duration
+	WCET     vtime.Duration
+	Deadline vtime.Duration // 0 ⇒ implicit (= Period)
+	Offset   vtime.Duration // release offset of the first job
+
+	// ExecFn returns the execution demand of job k at its arrival instant.
+	ExecFn func(k int64, arrival vtime.Time) vtime.Duration
+	// PeriodFn returns the gap between the arrivals of jobs k and k+1.
+	PeriodFn func(k int64, arrival vtime.Time) vtime.Duration
+}
+
+// EffectiveDeadline returns the task's relative deadline (Period when
+// implicit).
+func (t *Task) EffectiveDeadline() vtime.Duration {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+// Validate reports a descriptive error when the static parameters are
+// unusable.
+func (t *Task) Validate() error {
+	switch {
+	case t.Period <= 0:
+		return fmt.Errorf("task %q: period must be positive, got %v", t.Name, t.Period)
+	case t.WCET <= 0:
+		return fmt.Errorf("task %q: WCET must be positive, got %v", t.Name, t.WCET)
+	case t.WCET > t.Period:
+		return fmt.Errorf("task %q: WCET %v exceeds period %v", t.Name, t.WCET, t.Period)
+	case t.Deadline < 0 || t.Offset < 0:
+		return fmt.Errorf("task %q: negative deadline or offset", t.Name)
+	}
+	return nil
+}
+
+// Job is one pending or running invocation of a task.
+type Job struct {
+	Task      *Task
+	Index     int64 // k-th job of the task, from 0
+	Arrival   vtime.Time
+	Demand    vtime.Duration // total execution required
+	Remaining vtime.Duration // execution still owed
+}
+
+// Completion is reported to observers when a job finishes.
+type Completion struct {
+	Job      Job
+	Finish   vtime.Time
+	Response vtime.Duration // Finish - Arrival
+}
+
+// state is the runtime bookkeeping for one task within a Scheduler.
+type state struct {
+	task        *Task
+	prio        int // index within scheduler; lower = higher priority
+	started     bool
+	nextArrival vtime.Time
+	nextIndex   int64
+	pending     []*Job // FIFO backlog of this task's jobs (front = oldest)
+}
+
+// arrivalAnchor lazily initializes the first arrival from the task's Offset.
+// Laziness matters: transforms such as BLINDER's release quantization rewrite
+// Offset after the system is built but before the simulation starts.
+func (st *state) arrivalAnchor() vtime.Time {
+	if !st.started {
+		st.started = true
+		st.nextArrival = vtime.Time(0).Add(st.task.Offset)
+	}
+	return st.nextArrival
+}
+
+// Scheduler is a fixed-priority preemptive scheduler over one partition's
+// tasks. It is driven by its partition's share of the CPU: the hierarchical
+// engine tells it how much time passed while the partition was executing.
+type Scheduler struct {
+	states []*state
+	// OnComplete, when non-nil, is invoked for every finished job.
+	OnComplete func(Completion)
+	// Shuffle, when non-nil, makes the local scheduler pick uniformly among
+	// the tasks with pending jobs instead of the highest-priority one — a
+	// TaskShuffler-style local randomization (Yoon et al., RTAS 2016, the
+	// paper's reference [8]). It randomizes the order of local tasks but
+	// cannot change WHEN the partition as a whole executes, so it does not
+	// affect the partition-level covert channel (a negative result the
+	// experiments demonstrate). The choice is re-drawn at every dispatch.
+	Shuffle   func(n int) int
+	completed int64
+}
+
+// NewScheduler builds a local scheduler. Task priority is the slice order
+// (index 0 = highest). The tasks are validated.
+func NewScheduler(tasks []*Task) (*Scheduler, error) {
+	s := &Scheduler{}
+	for i, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		s.states = append(s.states, &state{task: t, prio: i})
+	}
+	return s, nil
+}
+
+// Tasks returns the static task list in priority order.
+func (s *Scheduler) Tasks() []*Task {
+	out := make([]*Task, len(s.states))
+	for i, st := range s.states {
+		out[i] = st.task
+	}
+	return out
+}
+
+// Completed returns the number of jobs finished so far.
+func (s *Scheduler) Completed() int64 { return s.completed }
+
+// ReleaseUpTo releases every job whose arrival instant is <= now.
+func (s *Scheduler) ReleaseUpTo(now vtime.Time) {
+	for _, st := range s.states {
+		st.arrivalAnchor()
+		for st.nextArrival <= now {
+			arrival := st.nextArrival
+			demand := st.task.WCET
+			if st.task.ExecFn != nil {
+				demand = st.task.ExecFn(st.nextIndex, arrival)
+				if demand < vtime.Microsecond {
+					demand = vtime.Microsecond
+				}
+				if demand > st.task.WCET {
+					demand = st.task.WCET
+				}
+			}
+			st.pending = append(st.pending, &Job{
+				Task:      st.task,
+				Index:     st.nextIndex,
+				Arrival:   arrival,
+				Demand:    demand,
+				Remaining: demand,
+			})
+			gap := st.task.Period
+			if st.task.PeriodFn != nil {
+				gap = st.task.PeriodFn(st.nextIndex, arrival)
+				if gap < vtime.Microsecond {
+					gap = vtime.Microsecond
+				}
+			}
+			st.nextIndex++
+			st.nextArrival = arrival.Add(gap)
+		}
+	}
+}
+
+// NextArrival returns the earliest future job arrival, or vtime.Infinity.
+func (s *Scheduler) NextArrival() vtime.Time {
+	next := vtime.Infinity
+	for _, st := range s.states {
+		if a := st.arrivalAnchor(); a < next {
+			next = a
+		}
+	}
+	return next
+}
+
+// Current returns the job the partition would execute now (the oldest pending
+// job of the highest-priority task with a backlog, or of a uniformly random
+// backlogged task when Shuffle is set), or nil if the partition has no ready
+// work.
+func (s *Scheduler) Current() *Job {
+	if s.Shuffle != nil {
+		// Collect backlogged tasks and pick one at random.
+		var backlogged []*state
+		for _, st := range s.states {
+			if len(st.pending) > 0 {
+				backlogged = append(backlogged, st)
+			}
+		}
+		if len(backlogged) == 0 {
+			return nil
+		}
+		return backlogged[s.Shuffle(len(backlogged))].pending[0]
+	}
+	for _, st := range s.states {
+		if len(st.pending) > 0 {
+			return st.pending[0]
+		}
+	}
+	return nil
+}
+
+// HasReady reports whether any job is pending.
+func (s *Scheduler) HasReady() bool { return s.Current() != nil }
+
+// Backlog returns the total outstanding execution demand across all pending
+// jobs.
+func (s *Scheduler) Backlog() vtime.Duration {
+	var sum vtime.Duration
+	for _, st := range s.states {
+		for _, j := range st.pending {
+			sum += j.Remaining
+		}
+	}
+	return sum
+}
+
+// Run consumes up to d of CPU time starting at instant start, executing
+// pending jobs in fixed-priority order. It does NOT release new arrivals;
+// the engine guarantees no arrival falls strictly inside the slice it grants
+// (slices end at the next event boundary). It returns the CPU time actually
+// used, which is less than d only if the ready queue empties.
+func (s *Scheduler) Run(start vtime.Time, d vtime.Duration) vtime.Duration {
+	var used vtime.Duration
+	for used < d {
+		job := s.Current()
+		if job == nil {
+			break
+		}
+		slice := (d - used).Min(job.Remaining)
+		job.Remaining -= slice
+		used += slice
+		if job.Remaining == 0 {
+			s.finish(job, start.Add(used))
+		}
+	}
+	return used
+}
+
+// ShortestRemaining returns the remaining demand of the job that would run
+// next, or vtime.Forever when idle. The engine uses it to bound a dispatch
+// slice at the job-completion event.
+func (s *Scheduler) ShortestRemaining() vtime.Duration {
+	if job := s.Current(); job != nil {
+		return job.Remaining
+	}
+	return vtime.Forever
+}
+
+func (s *Scheduler) finish(job *Job, at vtime.Time) {
+	st := s.states[s.indexOf(job.Task)]
+	// The finished job is necessarily the front of its task's backlog.
+	st.pending = st.pending[1:]
+	s.completed++
+	if s.OnComplete != nil {
+		s.OnComplete(Completion{
+			Job:      *job,
+			Finish:   at,
+			Response: at.Sub(job.Arrival),
+		})
+	}
+}
+
+func (s *Scheduler) indexOf(t *Task) int {
+	for i, st := range s.states {
+		if st.task == t {
+			return i
+		}
+	}
+	panic("task: job for unknown task")
+}
+
+// Reset restores all tasks to their initial state (no pending jobs, first
+// arrival at the task offset).
+func (s *Scheduler) Reset() {
+	for _, st := range s.states {
+		st.started = false
+		st.nextArrival = 0
+		st.nextIndex = 0
+		st.pending = nil
+	}
+	s.completed = 0
+}

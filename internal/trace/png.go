@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"timedice/internal/vtime"
+)
+
+// palette provides distinguishable colors for up to 20 partitions; indexes
+// wrap beyond that. Index -1 (idle) renders as near-white.
+var palette = []color.RGBA{
+	{0x1f, 0x77, 0xb4, 0xff}, {0xff, 0x7f, 0x0e, 0xff}, {0x2c, 0xa0, 0x2c, 0xff},
+	{0xd6, 0x27, 0x28, 0xff}, {0x94, 0x67, 0xbd, 0xff}, {0x8c, 0x56, 0x4b, 0xff},
+	{0xe3, 0x77, 0xc2, 0xff}, {0x7f, 0x7f, 0x7f, 0xff}, {0xbc, 0xbd, 0x22, 0xff},
+	{0x17, 0xbe, 0xcf, 0xff}, {0xae, 0xc7, 0xe8, 0xff}, {0xff, 0xbb, 0x78, 0xff},
+	{0x98, 0xdf, 0x8a, 0xff}, {0xff, 0x98, 0x96, 0xff}, {0xc5, 0xb0, 0xd5, 0xff},
+	{0xc4, 0x9c, 0x94, 0xff}, {0xf7, 0xb6, 0xd2, 0xff}, {0xc7, 0xc7, 0xc7, 0xff},
+	{0xdb, 0xdb, 0x8d, 0xff}, {0x9e, 0xda, 0xe5, 0xff},
+}
+
+var idleColor = color.RGBA{0xf4, 0xf4, 0xf4, 0xff}
+
+// HeatmapPNG renders execution vectors as a PNG in the style of the paper's
+// Figs. 4(b)/13: one row of rowHeight pixels per monitoring window, one
+// column per micro-interval; executed intervals are dark, idle ones light.
+// Rows are annotated by tinting the left margin with the sender's bit
+// (blue = 0, orange = 1).
+func HeatmapPNG(vectors [][]float64, labels []int, rowHeight int, w io.Writer) error {
+	if len(vectors) == 0 || len(vectors[0]) == 0 {
+		return fmt.Errorf("trace: empty heatmap")
+	}
+	if rowHeight <= 0 {
+		rowHeight = 3
+	}
+	const margin = 6
+	cols := len(vectors[0])
+	img := image.NewRGBA(image.Rect(0, 0, margin+cols, len(vectors)*rowHeight))
+	dark := color.RGBA{0x20, 0x20, 0x20, 0xff}
+	light := color.RGBA{0xfb, 0xfb, 0xfb, 0xff}
+	for r, v := range vectors {
+		tint := palette[0]
+		if r < len(labels) && labels[r]&1 == 1 {
+			tint = palette[1]
+		}
+		for y := 0; y < rowHeight; y++ {
+			py := r*rowHeight + y
+			for x := 0; x < margin; x++ {
+				img.SetRGBA(x, py, tint)
+			}
+			for c := 0; c < cols && c < len(v); c++ {
+				px := margin + c
+				if v[c] > 0.5 {
+					img.SetRGBA(px, py, dark)
+				} else {
+					img.SetRGBA(px, py, light)
+				}
+			}
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// GanttPNG renders the recorded schedule as a PNG Gantt chart in the style
+// of Fig. 6: one rowHeight-pixel row per partition plus an idle row, one
+// pixel column per cell of simulated time.
+func (r *Recorder) GanttPNG(nPartitions int, cell vtime.Duration, rowHeight int, w io.Writer) error {
+	if len(r.Segments) == 0 {
+		return fmt.Errorf("trace: empty recording")
+	}
+	if rowHeight <= 0 {
+		rowHeight = 8
+	}
+	if cell <= 0 {
+		cell = vtime.Millisecond
+	}
+	start := r.Segments[0].Start
+	end := r.Segments[len(r.Segments)-1].End
+	cols := int(vtime.CeilDiv(end.Sub(start), cell))
+	const maxCols = 8000
+	if cols > maxCols {
+		cols = maxCols
+		end = start.Add(vtime.Duration(cols) * cell)
+	}
+	rows := nPartitions + 1 // idle last
+	img := image.NewRGBA(image.Rect(0, 0, cols, rows*rowHeight))
+	// Background.
+	for y := 0; y < rows*rowHeight; y++ {
+		for x := 0; x < cols; x++ {
+			img.SetRGBA(x, y, idleColor)
+		}
+	}
+	for _, seg := range r.Segments {
+		row := seg.Partition
+		var col color.RGBA
+		if row < 0 {
+			row = nPartitions
+			col = color.RGBA{0xdd, 0xdd, 0xdd, 0xff}
+		} else if row >= nPartitions {
+			continue
+		} else {
+			col = palette[row%len(palette)]
+		}
+		s, e := seg.Start, seg.End
+		if e > end {
+			e = end
+		}
+		x0 := int(s.Sub(start) / cell)
+		x1 := int(vtime.CeilDiv(e.Sub(start), cell))
+		for x := x0; x < x1 && x < cols; x++ {
+			for y := 0; y < rowHeight-1; y++ { // 1px row separator
+				img.SetRGBA(x, row*rowHeight+y, col)
+			}
+		}
+	}
+	return png.Encode(w, img)
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"timedice/internal/vtime"
+)
+
+func TestHeatmapPNG(t *testing.T) {
+	vectors := [][]float64{
+		{1, 0, 1, 0},
+		{0, 1, 0, 1},
+	}
+	labels := []int{0, 1}
+	var buf bytes.Buffer
+	if err := HeatmapPNG(vectors, labels, 2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 6+4 || b.Dy() != 2*2 {
+		t.Errorf("dimensions %dx%d", b.Dx(), b.Dy())
+	}
+	// Executed cell (row 0, col 0 → pixel x=6, y=0) must be dark.
+	r, g, bb, _ := img.At(6, 0).RGBA()
+	if r>>8 > 0x40 || g>>8 > 0x40 || bb>>8 > 0x40 {
+		t.Errorf("executed cell not dark: %v", img.At(6, 0))
+	}
+	// Idle cell (row 0, col 1 → x=7) must be light.
+	r, _, _, _ = img.At(7, 0).RGBA()
+	if r>>8 < 0xE0 {
+		t.Errorf("idle cell not light: %v", img.At(7, 0))
+	}
+}
+
+func TestHeatmapPNGEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := HeatmapPNG(nil, nil, 2, &buf); err == nil {
+		t.Error("empty heatmap accepted")
+	}
+}
+
+func TestGanttPNG(t *testing.T) {
+	r := NewRecorder(0, 0)
+	hook := r.Hook()
+	hook(seg(0, 2, 0))
+	hook(seg(2, 5, 1))
+	hook(seg(5, 10, -1))
+	var buf bytes.Buffer
+	if err := r.GanttPNG(2, vtime.Millisecond, 4, &buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 10 || b.Dy() != 3*4 {
+		t.Errorf("dimensions %dx%d, want 10x12", b.Dx(), b.Dy())
+	}
+	// Partition 0 ran in [0,2): pixel (0,0) takes palette[0] (blue-ish).
+	rr, gg, bb, _ := img.At(0, 0).RGBA()
+	if !(bb > rr && bb > gg) {
+		t.Errorf("partition 0 pixel not blue: %v", img.At(0, 0))
+	}
+	// Pixel at x=3 row 0 should be idle background (partition 0 not running).
+	rr, _, _, _ = img.At(3, 0).RGBA()
+	if rr>>8 < 0xE0 {
+		t.Errorf("background pixel not light: %v", img.At(3, 0))
+	}
+}
+
+func TestGanttPNGEmpty(t *testing.T) {
+	r := NewRecorder(0, 0)
+	var buf bytes.Buffer
+	if err := r.GanttPNG(2, vtime.Millisecond, 4, &buf); err == nil {
+		t.Error("empty recording accepted")
+	}
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"timedice/internal/rng"
+	"timedice/internal/vtime"
+)
+
+func TestTableIBaseShape(t *testing.T) {
+	spec := TableIBase()
+	if len(spec.Partitions) != 5 {
+		t.Fatalf("%d partitions", len(spec.Partitions))
+	}
+	wantT := []int64{20, 30, 40, 50, 60}
+	for i, p := range spec.Partitions {
+		if p.Period != vtime.MS(wantT[i]) {
+			t.Errorf("P%d period %v, want %dms", i+1, p.Period, wantT[i])
+		}
+		if p.Budget != vtime.FromFloatMS(0.16*float64(wantT[i])) {
+			t.Errorf("P%d budget %v", i+1, p.Budget)
+		}
+		if len(p.Tasks) != 5 {
+			t.Fatalf("P%d has %d tasks", i+1, len(p.Tasks))
+		}
+		mult := int64(2)
+		for j, tk := range p.Tasks {
+			if tk.Period != vtime.Duration(mult)*p.Period {
+				t.Errorf("task (%d,%d) period %v", i+1, j+1, tk.Period)
+			}
+			wantE := vtime.FromFloatMS(0.03 * tk.Period.Milliseconds())
+			if tk.WCET != wantE {
+				t.Errorf("task (%d,%d) wcet %v, want %v", i+1, j+1, tk.WCET, wantE)
+			}
+			mult *= 2
+		}
+	}
+	if u := spec.Utilization(); math.Abs(u-0.8) > 1e-9 {
+		t.Errorf("total utilization %v, want 0.80", u)
+	}
+}
+
+func TestTableILight(t *testing.T) {
+	if u := TableILight().Utilization(); math.Abs(u-0.4) > 1e-9 {
+		t.Errorf("light utilization %v, want 0.40", u)
+	}
+}
+
+func TestScalePreservesUtilization(t *testing.T) {
+	base := TableIBase()
+	for _, n := range []int{2, 4} {
+		scaled := Scale(base, n)
+		if len(scaled.Partitions) != 5*n {
+			t.Fatalf("x%d: %d partitions", n, len(scaled.Partitions))
+		}
+		if du := math.Abs(scaled.Utilization() - base.Utilization()); du > 0.02 {
+			t.Errorf("x%d: utilization drifted by %v", n, du)
+		}
+		if err := scaled.Validate(); err != nil {
+			t.Errorf("x%d: %v", n, err)
+		}
+	}
+	if got := Scale(base, 1); len(got.Partitions) != 5 {
+		t.Error("Scale(1) should be identity")
+	}
+}
+
+func TestCar(t *testing.T) {
+	spec := Car()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Partitions) != 4 {
+		t.Fatalf("%d partitions", len(spec.Partitions))
+	}
+	// Fig. 5's table.
+	wantT := []int64{10, 20, 30, 50}
+	wantB := []int64{1, 10, 3, 5}
+	for i, p := range spec.Partitions {
+		if p.Period != vtime.MS(wantT[i]) || p.Budget != vtime.MS(wantB[i]) {
+			t.Errorf("partition %s: (T=%v,B=%v), want (%d,%d)ms", p.Name, p.Period, p.Budget, wantT[i], wantB[i])
+		}
+	}
+}
+
+func TestThreePartition(t *testing.T) {
+	spec := ThreePartition()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Partitions) != 3 {
+		t.Fatal("want 3 partitions")
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	r := rng.New(77)
+	opts := DefaultRandomOptions()
+	for i := 0; i < 20; i++ {
+		spec := Random(r, opts)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("random spec %d invalid: %v", i, err)
+		}
+		if len(spec.Partitions) != opts.Partitions {
+			t.Fatalf("%d partitions", len(spec.Partitions))
+		}
+		// Rate-monotonic priority order.
+		for j := 1; j < len(spec.Partitions); j++ {
+			if spec.Partitions[j].Period < spec.Partitions[j-1].Period {
+				t.Fatal("partitions not sorted rate-monotonically")
+			}
+		}
+		// Utilization near target (quantization allows small overshoot).
+		if u := spec.Utilization(); u > opts.TotalUtil+0.2 {
+			t.Errorf("utilization %v far above target %v", u, opts.TotalUtil)
+		}
+	}
+}
+
+func TestUUniFastSumsToTotal(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 50; i++ {
+		u := uuniFast(r, 6, 0.75)
+		var sum float64
+		for _, x := range u {
+			if x < 0 {
+				t.Fatal("negative utilization")
+			}
+			sum += x
+		}
+		if math.Abs(sum-0.75) > 1e-9 {
+			t.Fatalf("sum %v, want 0.75", sum)
+		}
+	}
+}

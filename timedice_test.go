@@ -1,0 +1,143 @@
+package timedice_test
+
+import (
+	"fmt"
+	"testing"
+
+	"timedice"
+)
+
+func TestPublicNewSystem(t *testing.T) {
+	for _, kind := range []timedice.PolicyKind{timedice.NoRandom, timedice.TimeDiceU, timedice.TimeDiceW, timedice.TDMA} {
+		sys, err := timedice.NewSystem(timedice.ThreePartition(), kind, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		sys.Run(timedice.Time(timedice.MS(500)))
+		if sys.Counters.Decisions == 0 {
+			t.Errorf("%v: no decisions", kind)
+		}
+	}
+}
+
+func TestPublicNewBuiltSystemHooks(t *testing.T) {
+	sys, built, err := timedice.NewBuiltSystem(timedice.ThreePartition(), timedice.TimeDiceW, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	built.Sched["P1"].OnComplete = func(c timedice.TaskCompletion) { done++ }
+	sys.Run(timedice.Time(timedice.Second))
+	if done == 0 {
+		t.Error("completion hook never fired")
+	}
+}
+
+func TestPublicAnalyze(t *testing.T) {
+	rows, err := timedice.Analyze(timedice.TableIBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 25 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].NoRandom != timedice.MS(18) || rows[0].TimeDice.Milliseconds() != 34.8 {
+		t.Errorf("t1,1 analytic values wrong: %+v", rows[0])
+	}
+	if !timedice.SystemSchedulable(timedice.TableIBase()) {
+		t.Error("Table I must be schedulable")
+	}
+	if !timedice.PartitionSchedulable(timedice.TableIBase(), 4) {
+		t.Error("Π5 must be schedulable")
+	}
+}
+
+func TestPublicRunChannel(t *testing.T) {
+	res, err := timedice.RunChannel(timedice.ChannelConfig{
+		Spec: timedice.TableIBase(), Sender: 1, Receiver: 3,
+		ProfileWindows: 100, TestWindows: 200, Seed: 3,
+	}, timedice.KNN{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RTAccuracy < 0.7 {
+		t.Errorf("accuracy %.3f", res.RTAccuracy)
+	}
+	if _, ok := res.VecAccuracy["knn"]; !ok {
+		t.Error("learner missing")
+	}
+}
+
+func TestPublicOrderChannel(t *testing.T) {
+	res, err := timedice.RunOrderChannel(timedice.OrderChannelConfig{Windows: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OrderAccuracy < 0.9 {
+		t.Errorf("order accuracy %.3f", res.OrderAccuracy)
+	}
+}
+
+func TestPublicRecorder(t *testing.T) {
+	sys, err := timedice.NewSystem(timedice.ThreePartition(), timedice.NoRandom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := timedice.NewRecorder(0, timedice.Time(timedice.MS(50)))
+	sys.TraceFn = rec.Hook()
+	sys.Run(timedice.Time(timedice.MS(50)))
+	g := timedice.RenderGantt(rec, []string{"P1", "P2", "P3"}, timedice.Millisecond)
+	if len(g) == 0 || g == "(empty trace)\n" {
+		t.Error("empty gantt from public API")
+	}
+}
+
+func TestPublicCustomPolicy(t *testing.T) {
+	// Direct use of the TimeDice policy type with options.
+	pol := timedice.NewTimeDicePolicy(
+		timedice.WithQuantum(timedice.MS(2)),
+		timedice.WithSelection(timedice.SelectUniform),
+	)
+	if pol.Name() != "TimeDiceU" || pol.Quantum() != timedice.MS(2) {
+		t.Error("custom policy options not applied")
+	}
+}
+
+func TestPublicWCRTFunctions(t *testing.T) {
+	spec := timedice.TableIBase()
+	nr := timedice.WCRTNoRandom(spec, 0, 0)
+	td := timedice.WCRTTimeDice(spec, 0, 0)
+	if nr != timedice.MS(18) || td >= timedice.MS(35) || td <= timedice.MS(34) {
+		t.Errorf("WCRTs: nr=%v td=%v", nr, td)
+	}
+}
+
+// ExampleNewSystem demonstrates building and running a system.
+func ExampleNewSystem() {
+	spec := timedice.ThreePartition()
+	sys, err := timedice.NewSystem(spec, timedice.TimeDiceW, 42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys.Run(timedice.Time(timedice.Second))
+	fmt.Println("partitions:", len(sys.Partitions))
+	fmt.Println("schedulable:", timedice.SystemSchedulable(spec))
+	// Output:
+	// partitions: 3
+	// schedulable: true
+}
+
+// ExampleAnalyze demonstrates the Table II analytic WCRT computation.
+func ExampleAnalyze() {
+	rows, err := timedice.Analyze(timedice.TableIBase())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	r := rows[0]
+	fmt.Printf("%s: NoRandom %.1fms, TimeDice %.1fms\n",
+		r.Task, r.NoRandom.Milliseconds(), r.TimeDice.Milliseconds())
+	// Output:
+	// t1,1: NoRandom 18.0ms, TimeDice 34.8ms
+}
