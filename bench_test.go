@@ -472,6 +472,43 @@ func BenchmarkEngineTimeDice(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineTimeDiceTelemetry measures the sink-attached engine: the
+// same run as BenchmarkEngineTimeDice but with every event counted through a
+// minimal sink. The gap between the two benchmarks is the full cost of the
+// telemetry layer when enabled; BenchmarkEngineTimeDice itself is the
+// nil-sink guard and must stay within noise of the pre-telemetry seed.
+func BenchmarkEngineTimeDiceTelemetry(b *testing.B) {
+	var events int64
+	for i := 0; i < b.N; i++ {
+		var n int64
+		sink := TelemetryFunc(func(TelemetryEvent) { n++ })
+		sys, err := NewSystem(workload.TableIBase(), TimeDiceW, 1, WithTelemetry(sink))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Run(Time(10 * Second))
+		events = n
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkEngineTimeDiceCollector is the realistic enabled configuration: a
+// metrics Collector aggregating the stream into histograms and counters.
+func BenchmarkEngineTimeDiceCollector(b *testing.B) {
+	names := make([]string, len(workload.TableIBase().Partitions))
+	for i, p := range workload.TableIBase().Partitions {
+		names[i] = p.Name
+	}
+	for i := 0; i < b.N; i++ {
+		coll := NewMetricsCollector(nil, names)
+		sys, err := NewSystem(workload.TableIBase(), TimeDiceW, 1, WithTelemetry(coll))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Run(Time(10 * Second))
+	}
+}
+
 // BenchmarkSVMTrain measures training the paper's execution-vector
 // classifier on channel-sized data (150-dim binary vectors).
 func BenchmarkSVMTrain(b *testing.B) {

@@ -1,9 +1,10 @@
 // Monitoring is the system integrator's console: the overt channels flow
-// through an auditable publish–subscribe bus, while a consumption monitor
-// watches every partition's budget usage for covert-sender signatures —
-// with TimeDice randomizing the schedule underneath. Defense in depth:
-// TimeDice degrades the covert channel, the monitor identifies who was
-// trying to use it, and the overt traffic is fully logged.
+// through an auditable publish–subscribe bus, the telemetry event stream
+// feeds live deadline-miss and inversion-window monitors, and a consumption
+// monitor watches every partition's budget usage for covert-sender
+// signatures — with TimeDice randomizing the schedule underneath. Defense in
+// depth: TimeDice degrades the covert channel, the monitor identifies who
+// was trying to use it, and the overt traffic is fully logged.
 package main
 
 import (
@@ -29,7 +30,25 @@ func run() error {
 		Name: "exfil", Period: timedice.MS(50), WCET: spec.Partitions[1].Budget,
 	}}
 
-	sys, built, err := timedice.NewBuiltSystem(spec, timedice.TimeDiceW, 4)
+	// Live monitors fed by the structured event stream: every deadline miss
+	// and every priority-inversion window the engine opens arrives here as a
+	// typed event the moment it happens — no post-processing pass needed.
+	misses := map[int]int{}
+	var inversions int
+	var inversionTime timedice.Duration
+	watch := timedice.TelemetryFunc(func(ev timedice.TelemetryEvent) {
+		switch ev.Kind {
+		case timedice.EventDeadlineMiss:
+			misses[ev.Partition]++
+		case timedice.EventInversionOpen:
+			inversions++
+		case timedice.EventInversionClose:
+			inversionTime += ev.Dur
+		}
+	})
+
+	sys, built, err := timedice.NewBuiltSystem(spec, timedice.TimeDiceW, 4,
+		timedice.WithTelemetry(watch))
 	if err != nil {
 		return err
 	}
@@ -64,10 +83,26 @@ func run() error {
 	sys.TraceFn = mon.Hook()
 
 	sys.Run(timedice.Time(60 * timedice.Second))
+	sys.FlushTelemetry() // close any inversion window still open at the horizon
 
 	fmt.Println("Integrator's console after 60 simulated seconds under TimeDiceW:")
 	fmt.Printf("  overt bus: %d heartbeats delivered, worst latency %v, %d messages audited\n",
 		heartbeats, worstLatency, len(bus.Audit()))
+	totalMisses := 0
+	for _, n := range misses {
+		totalMisses += n
+	}
+	fmt.Printf("  deadline monitor: %d misses", totalMisses)
+	if totalMisses > 0 {
+		for i := range spec.Partitions {
+			if misses[i] > 0 {
+				fmt.Printf("  %s:%d", spec.Partitions[i].Name, misses[i])
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Printf("  inversion monitor: %d schedulability-preserving inversion windows, %v total (%.1f%% of run)\n",
+		inversions, inversionTime, 100*inversionTime.Seconds()/60)
 	fmt.Println("  covert-sender scores (budget-modulation bimodality):")
 	for _, r := range mon.Rank() {
 		flag := ""

@@ -280,9 +280,15 @@ type Policy struct {
 	states  []PartitionState
 	scratch []int
 	weights []float64
+
+	lastCandidates int64
+	lastTests      int64
 }
 
-var _ engine.GlobalPolicy = (*Policy)(nil)
+var (
+	_ engine.GlobalPolicy     = (*Policy)(nil)
+	_ engine.DecisionDetailer = (*Policy)(nil)
+)
 
 // Option configures a Policy.
 type Option func(*Policy)
@@ -326,6 +332,12 @@ func (p *Policy) Quantum() vtime.Duration { return p.quantum }
 // Stats returns the accumulated counters.
 func (p *Policy) Stats() Stats { return p.stats }
 
+// DecisionDetail implements engine.DecisionDetailer: the candidate-set size
+// and schedulability tests of the most recent Pick.
+func (p *Policy) DecisionDetail() (candidates, tests int64) {
+	return p.lastCandidates, p.lastTests
+}
+
 // ResetStats zeroes the counters.
 func (p *Policy) ResetStats() { p.stats = Stats{} }
 
@@ -360,6 +372,7 @@ func (p *Policy) Pick(sys *engine.System, now vtime.Time) *partition.Partition {
 	p.scratch = res.Candidates
 	p.stats.SchedTests += res.Tests
 	p.stats.CandidateSum += int64(len(res.Candidates))
+	p.lastCandidates, p.lastTests = int64(len(res.Candidates)), res.Tests
 	if res.IdleOK {
 		p.stats.IdleEligible++
 	}

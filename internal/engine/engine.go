@@ -18,6 +18,8 @@ import (
 
 	"timedice/internal/partition"
 	"timedice/internal/rng"
+	"timedice/internal/task"
+	"timedice/internal/telemetry"
 	"timedice/internal/vtime"
 )
 
@@ -43,6 +45,14 @@ type BoundaryPolicy interface {
 	NextBoundary(now vtime.Time) vtime.Time
 }
 
+// DecisionDetailer is an optional extension of GlobalPolicy that reports
+// detail about the most recent Pick: the candidate-set size considered and
+// the number of schedulability tests run. The engine attaches the candidate
+// count to the telemetry KindDecision event when available.
+type DecisionDetailer interface {
+	DecisionDetail() (candidates, tests int64)
+}
+
 // Segment is one maximal interval of the schedule trace during which the CPU
 // ran a single partition (or idled).
 type Segment struct {
@@ -55,14 +65,36 @@ type Segment struct {
 // Counters aggregates the schedule statistics reported in Table V and
 // Fig. 17 of the paper.
 type Counters struct {
-	Decisions      int64           // global scheduling decisions made
-	Switches       int64           // decisions whose outcome differed from the previous one
-	IdleDecisions  int64           // decisions that chose to idle
-	BusyTime       vtime.Duration  // CPU time spent executing partitions
-	IdleTime       vtime.Duration  // CPU time spent idle
-	PolicyTime     time.Duration   // wall-clock time inside Pick (Fig. 17)
-	PolicySamples  int64           // number of timed Pick calls
-	PolicyLatencyN []time.Duration // individual Pick latencies when MeasureLatency
+	Decisions     int64          // global scheduling decisions made
+	Switches      int64          // decisions whose outcome differed from the previous one
+	IdleDecisions int64          // decisions that chose to idle
+	BusyTime      vtime.Duration // CPU time spent executing partitions
+	IdleTime      vtime.Duration // CPU time spent idle
+	PolicyTime    time.Duration  // wall-clock time inside Pick (Fig. 17)
+	PolicySamples int64          // number of timed Pick calls
+
+	// DeadlineMisses counts jobs that completed after their absolute
+	// deadline (arrival + relative deadline). Jobs still pending when the
+	// run ends are not counted. Always maintained.
+	DeadlineMisses int64
+	// InversionWindows and InversionTime count/accumulate the
+	// priority-inversion windows of the schedule: maximal runs of decisions
+	// during which the CPU ran a partition (or idled) while a strictly
+	// higher-priority partition was runnable. They are maintained only while
+	// a telemetry sink is attached, because the detection scan is extra
+	// hot-path work the nil-sink configuration must not pay.
+	InversionWindows int64
+	InversionTime    vtime.Duration
+	// PolicyLatency is a fixed-bucket streaming histogram (microseconds) of
+	// individual Pick wall-clock latencies, populated when MeasureLatency is
+	// set. Constant memory regardless of run length.
+	PolicyLatency *telemetry.Histogram
+
+	// PolicyLatencyN previously stored every individual Pick latency.
+	//
+	// Deprecated: the unbounded sample slice grew with the run length; it is
+	// no longer populated. Use PolicyLatency instead.
+	PolicyLatencyN []time.Duration
 }
 
 // System is a complete simulated system: partitions under one global policy.
@@ -75,9 +107,8 @@ type System struct {
 	// TraceFn, when non-nil, receives every schedule segment as it is
 	// produced. Segments are contiguous and non-overlapping.
 	TraceFn func(Segment)
-	// MeasureLatency records the wall-clock latency of every Pick call in
-	// Counters.PolicyLatencyN (Table IV). It is off by default because the
-	// sample slice grows with the run length.
+	// MeasureLatency streams the wall-clock latency of every Pick call into
+	// the Counters.PolicyLatency histogram (Table IV). Off by default.
 	MeasureLatency bool
 
 	Counters Counters
@@ -85,6 +116,10 @@ type System struct {
 	now     vtime.Time
 	running int // index of last picked partition, or -1
 	perPart []vtime.Duration
+
+	sink     telemetry.Sink // nil ⇒ telemetry disabled (fast path)
+	invOpen  bool           // an inversion window is currently open
+	invStart vtime.Time
 }
 
 // ErrNoPartitions is returned by New when the partition list is empty.
@@ -118,13 +153,117 @@ func New(parts []*partition.Partition, policy GlobalPolicy, rnd *rng.Rand) (*Sys
 	if rnd == nil {
 		rnd = rng.New(1)
 	}
-	return &System{
+	s := &System{
 		Partitions: ordered,
 		Policy:     policy,
 		Rand:       rnd,
 		running:    -1,
 		perPart:    make([]vtime.Duration, len(ordered)),
-	}, nil
+	}
+	// The lifecycle observers are installed unconditionally: they maintain
+	// the always-on Counters (deadline misses) and forward to the telemetry
+	// sink when one is attached. With no sink each callback is a nil check.
+	for i, p := range ordered {
+		obs := &partObserver{sys: s, part: i}
+		p.SetObservers(obs, obs)
+	}
+	return s, nil
+}
+
+// AttachTelemetry connects a telemetry sink to the system. All subsequent
+// scheduling activity is emitted as structured events (see package
+// telemetry for the taxonomy). Pass nil to detach; detached, the emission
+// paths reduce to nil checks and the engine benchmarks are unaffected.
+// Attach before Run — events are not back-filled.
+func (s *System) AttachTelemetry(sink telemetry.Sink) { s.sink = sink }
+
+// Telemetry returns the attached sink, or nil.
+func (s *System) Telemetry() telemetry.Sink { return s.sink }
+
+// partObserver forwards one partition's job and budget lifecycle into the
+// system: always-on counters plus the telemetry sink when attached. It
+// implements task.Observer and server.Observer.
+type partObserver struct {
+	sys  *System
+	part int
+}
+
+var (
+	_ task.Observer = (*partObserver)(nil)
+)
+
+func (o *partObserver) JobReleased(j *task.Job) {
+	if sink := o.sys.sink; sink != nil {
+		sink.Event(telemetry.Event{
+			Time: j.Arrival, Kind: telemetry.KindTaskArrival,
+			Partition: o.part, Task: j.Task.Name, Job: j.Index,
+		})
+	}
+}
+
+func (o *partObserver) JobDispatched(j *task.Job, at vtime.Time, first bool) {
+	if sink := o.sys.sink; sink != nil {
+		var aux int64
+		if first {
+			aux = 1
+		}
+		sink.Event(telemetry.Event{
+			Time: at, Kind: telemetry.KindTaskStart,
+			Partition: o.part, Task: j.Task.Name, Job: j.Index, Aux: aux,
+		})
+	}
+}
+
+func (o *partObserver) JobPreempted(j *task.Job, at vtime.Time) {
+	if sink := o.sys.sink; sink != nil {
+		sink.Event(telemetry.Event{
+			Time: at, Kind: telemetry.KindTaskPreempt,
+			Partition: o.part, Task: j.Task.Name, Job: j.Index,
+		})
+	}
+}
+
+func (o *partObserver) JobCompleted(c task.Completion) {
+	lateness := c.Response - c.Job.Task.EffectiveDeadline()
+	if lateness > 0 {
+		o.sys.Counters.DeadlineMisses++
+	}
+	if sink := o.sys.sink; sink != nil {
+		sink.Event(telemetry.Event{
+			Time: c.Finish, Kind: telemetry.KindTaskComplete,
+			Partition: o.part, Task: c.Job.Task.Name, Job: c.Job.Index,
+			Dur: c.Response,
+		})
+		if lateness > 0 {
+			sink.Event(telemetry.Event{
+				Time: c.Finish, Kind: telemetry.KindDeadlineMiss,
+				Partition: o.part, Task: c.Job.Task.Name, Job: c.Job.Index,
+				Dur: lateness,
+			})
+		}
+	}
+}
+
+func (o *partObserver) Replenished(at vtime.Time, amount, remaining vtime.Duration) {
+	if sink := o.sys.sink; sink != nil {
+		sink.Event(telemetry.Event{
+			Time: at, Kind: telemetry.KindBudgetReplenish,
+			Partition: o.part, Dur: amount, Aux: int64(remaining),
+		})
+	}
+}
+
+func (o *partObserver) Depleted(at vtime.Time, discarded vtime.Duration) {
+	if sink := o.sys.sink; sink != nil {
+		var aux int64
+		if discarded > 0 {
+			aux = 1
+		}
+		sink.Event(telemetry.Event{
+			Time: at, Kind: telemetry.KindBudgetDeplete,
+			Partition: o.part, Dur: discarded, Aux: aux,
+		})
+	}
 }
 
 // Now returns the current simulated instant.
@@ -182,7 +321,10 @@ func (s *System) step(until vtime.Time) {
 		lat := time.Since(t0)
 		s.Counters.PolicyTime += lat
 		s.Counters.PolicySamples++
-		s.Counters.PolicyLatencyN = append(s.Counters.PolicyLatencyN, lat)
+		if s.Counters.PolicyLatency == nil {
+			s.Counters.PolicyLatency = telemetry.NewHistogram(telemetry.LatencyBuckets())
+		}
+		s.Counters.PolicyLatency.Observe(float64(lat.Nanoseconds()) / 1e3)
 	} else {
 		t0 := time.Now()
 		pick = s.Policy.Pick(s, now)
@@ -193,6 +335,9 @@ func (s *System) step(until vtime.Time) {
 	pickIdx := -1
 	if pick != nil {
 		pickIdx = pick.Index
+	}
+	if s.sink != nil {
+		s.observeDecision(now, pick, pickIdx)
 	}
 	if pickIdx != s.running {
 		s.Counters.Switches++
@@ -260,6 +405,17 @@ func (s *System) step(until vtime.Time) {
 		if s.TraceFn != nil {
 			s.TraceFn(Segment{Start: now, End: end, Partition: pick.Index})
 		}
+		if s.sink != nil && end > now {
+			slicePart := pick.Index
+			if used == 0 {
+				// Defensive branch above: the slice was actually idle.
+				slicePart = -1
+			}
+			s.sink.Event(telemetry.Event{
+				Time: now, Kind: telemetry.KindSlice,
+				Partition: slicePart, Dur: end.Sub(now),
+			})
+		}
 		s.now = end
 		return
 	}
@@ -267,7 +423,82 @@ func (s *System) step(until vtime.Time) {
 	if s.TraceFn != nil {
 		s.TraceFn(Segment{Start: now, End: horizon, Partition: -1})
 	}
+	if s.sink != nil && horizon > now {
+		s.sink.Event(telemetry.Event{
+			Time: now, Kind: telemetry.KindSlice,
+			Partition: -1, Dur: horizon.Sub(now),
+		})
+	}
 	s.now = horizon
+}
+
+// observeDecision emits the telemetry records of one global decision:
+// the decision itself, partition-level preemption of the previously running
+// job on a switch, and priority-inversion window open/close edges. Called
+// only with a sink attached.
+func (s *System) observeDecision(now vtime.Time, pick *partition.Partition, pickIdx int) {
+	candidates := int64(-1)
+	if dd, ok := s.Policy.(DecisionDetailer); ok {
+		candidates, _ = dd.DecisionDetail()
+	}
+	s.sink.Event(telemetry.Event{
+		Time: now, Kind: telemetry.KindDecision,
+		Partition: pickIdx, Aux: candidates,
+	})
+
+	// Partition-level preemption: the previously running partition lost the
+	// CPU while one of its jobs was mid-execution.
+	if pickIdx != s.running && s.running >= 0 {
+		if j := s.Partitions[s.running].Local.TakeInFlight(); j != nil {
+			s.sink.Event(telemetry.Event{
+				Time: now, Kind: telemetry.KindTaskPreempt,
+				Partition: s.running, Task: j.Task.Name, Job: j.Index,
+			})
+		}
+	}
+
+	// Priority inversion: the decision ran a partition (or idled) while a
+	// strictly higher-priority partition was runnable. Consecutive inverted
+	// decisions form one window.
+	inverted := false
+	upTo := len(s.Partitions)
+	if pick != nil {
+		upTo = pick.Index
+	}
+	for i := 0; i < upTo; i++ {
+		if s.Partitions[i].Runnable() {
+			inverted = true
+			break
+		}
+	}
+	switch {
+	case inverted && !s.invOpen:
+		s.invOpen, s.invStart = true, now
+		s.Counters.InversionWindows++
+		s.sink.Event(telemetry.Event{
+			Time: now, Kind: telemetry.KindInversionOpen, Partition: pickIdx,
+		})
+	case !inverted && s.invOpen:
+		s.closeInversion(now)
+	}
+}
+
+func (s *System) closeInversion(now vtime.Time) {
+	s.invOpen = false
+	d := now.Sub(s.invStart)
+	s.Counters.InversionTime += d
+	s.sink.Event(telemetry.Event{
+		Time: now, Kind: telemetry.KindInversionClose, Partition: -1, Dur: d,
+	})
+}
+
+// FlushTelemetry closes any open priority-inversion window at the current
+// instant and emits its close event. Call it when a run ends before reading
+// final inversion statistics; it is idempotent.
+func (s *System) FlushTelemetry() {
+	if s.sink != nil && s.invOpen {
+		s.closeInversion(s.now)
+	}
 }
 
 // Reset restores the system to its initial state: time zero, full budgets,
@@ -279,6 +510,8 @@ func (s *System) Reset() {
 	s.now = 0
 	s.running = -1
 	s.Counters = Counters{}
+	s.invOpen = false
+	s.invStart = 0
 	for i := range s.perPart {
 		s.perPart[i] = 0
 	}

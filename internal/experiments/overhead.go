@@ -8,7 +8,6 @@ import (
 	"timedice/internal/model"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
-	"timedice/internal/stats"
 	"timedice/internal/vtime"
 	"timedice/internal/workload"
 )
@@ -126,13 +125,11 @@ func overheadRun(spec model.SystemSpec, kind policies.Kind, dur vtime.Duration, 
 		SwitchesPerSec:     float64(c.Switches) / secs,
 		PolicyMicrosPerSec: float64(c.PolicyTime.Microseconds()) / secs,
 	}
-	if len(c.PolicyLatencyN) > 0 {
-		lats := make([]float64, len(c.PolicyLatencyN))
-		for i, d := range c.PolicyLatencyN {
-			lats[i] = float64(d.Nanoseconds()) / 1e3
-		}
-		qs := stats.Quantiles(lats, 0.25, 0.5, 0.75, 0.99, 1)
-		row.P25, row.P50, row.P75, row.P99, row.Max = qs[0], qs[1], qs[2], qs[3], qs[4]
+	if h := c.PolicyLatency; h != nil && h.Count() > 0 {
+		// Streaming histogram (constant memory): quantiles are interpolated
+		// inside fixed buckets instead of read from a raw sample slice.
+		row.P25, row.P50, row.P75, row.P99, row.Max =
+			h.Quantile(0.25), h.Quantile(0.5), h.Quantile(0.75), h.Quantile(0.99), h.Max()
 	}
 	if td, ok := pol.(*core.Policy); ok {
 		st := td.Stats()

@@ -50,6 +50,15 @@ func (p *Partition) Runnable() bool { return p.Server.Active() && p.Local.HasRea
 // HigherPriorityThan reports whether p has strictly higher priority than o.
 func (p *Partition) HigherPriorityThan(o *Partition) bool { return p.Priority < o.Priority }
 
+// SetObservers installs the budget and job lifecycle observers on the
+// partition's server and local scheduler in one step. The engine wires the
+// telemetry plumbing through here so a partition stays the single assembly
+// point for its server + scheduler pair.
+func (p *Partition) SetObservers(to task.Observer, so server.Observer) {
+	p.Local.Observer = to
+	p.Server.SetObserver(so)
+}
+
 // Reset restores server and local-scheduler state for a fresh run.
 func (p *Partition) Reset() {
 	p.Server.Reset()

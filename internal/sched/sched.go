@@ -50,9 +50,14 @@ type NaiveRandom struct {
 	// IdleBias is the probability of idling when at least one partition is
 	// runnable (default: idle is one extra uniform option).
 	IdleBias float64
+
+	lastCandidates int64
 }
 
-var _ engine.GlobalPolicy = (*NaiveRandom)(nil)
+var (
+	_ engine.GlobalPolicy     = (*NaiveRandom)(nil)
+	_ engine.DecisionDetailer = (*NaiveRandom)(nil)
+)
 
 // Name implements engine.GlobalPolicy.
 func (n *NaiveRandom) Name() string { return "NaiveRandom" }
@@ -65,9 +70,17 @@ func (n *NaiveRandom) Quantum() vtime.Duration {
 	return vtime.Millisecond
 }
 
+// DecisionDetail implements engine.DecisionDetailer: every runnable
+// partition is a candidate (no schedulability tests at all — the point of
+// the strawman).
+func (n *NaiveRandom) DecisionDetail() (candidates, tests int64) {
+	return n.lastCandidates, 0
+}
+
 // Pick implements engine.GlobalPolicy.
 func (n *NaiveRandom) Pick(sys *engine.System, _ vtime.Time) *partition.Partition {
 	runnable := sys.Runnable()
+	n.lastCandidates = int64(len(runnable))
 	if len(runnable) == 0 {
 		return nil
 	}
@@ -94,12 +107,21 @@ type TDMA struct {
 	// starts[i] / ends[i] delimit partition i's slot within the frame, in
 	// system priority order.
 	starts, ends []vtime.Duration
+
+	lastCandidates int64
 }
 
 var (
-	_ engine.GlobalPolicy   = (*TDMA)(nil)
-	_ engine.BoundaryPolicy = (*TDMA)(nil)
+	_ engine.GlobalPolicy     = (*TDMA)(nil)
+	_ engine.BoundaryPolicy   = (*TDMA)(nil)
+	_ engine.DecisionDetailer = (*TDMA)(nil)
 )
+
+// DecisionDetail implements engine.DecisionDetailer: the slot table leaves
+// at most one candidate (the slot owner, when runnable).
+func (t *TDMA) DecisionDetail() (candidates, tests int64) {
+	return t.lastCandidates, 0
+}
 
 // NewTDMA builds a slot table for the given partitions (in priority order).
 // The frame is the GCD of the partition periods and each partition receives a
@@ -151,10 +173,12 @@ func (t *TDMA) Quantum() vtime.Duration { return 0 }
 // reopen the channel).
 func (t *TDMA) Pick(sys *engine.System, now vtime.Time) *partition.Partition {
 	off := vtime.Duration(int64(now) % int64(t.frame))
+	t.lastCandidates = 0
 	for i := range t.starts {
 		if off >= t.starts[i] && off < t.ends[i] {
 			p := sys.Partitions[i]
 			if p.Runnable() {
+				t.lastCandidates = 1
 				return p
 			}
 			return nil

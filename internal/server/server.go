@@ -48,6 +48,20 @@ func (p Policy) String() string {
 	}
 }
 
+// Observer receives budget lifecycle callbacks from a Server. The
+// hierarchical engine installs one per partition and forwards to the
+// attached telemetry sink; with no observer the accounting paths skip a nil
+// check and nothing else.
+type Observer interface {
+	// Replenished fires when budget is added: at the replenishment instant,
+	// with the amount added and the budget remaining afterwards.
+	Replenished(at vtime.Time, amount, remaining vtime.Duration)
+	// Depleted fires when the budget reaches zero: discarded is 0 when
+	// execution consumed it, or the discarded amount when an idle polling
+	// server dropped it (NoteIdle).
+	Depleted(at vtime.Time, discarded vtime.Duration)
+}
+
 // Server is the budget account of one partition. Create one with New.
 type Server struct {
 	budget vtime.Duration // B_i
@@ -57,7 +71,11 @@ type Server struct {
 	remaining     vtime.Duration // B_i(t)
 	lastReplenish vtime.Time     // r_{i,t}
 	replQ         eventq.Queue[vtime.Duration]
+	obs           Observer
 }
+
+// SetObserver installs (or removes, with nil) the budget observer.
+func (s *Server) SetObserver(o Observer) { s.obs = o }
 
 // New returns a server with maximum budget b replenished every period t under
 // the given policy. The budget is initially full with r_{i,0} = 0.
@@ -125,9 +143,16 @@ func (s *Server) NextReplenish() vtime.Time {
 func (s *Server) AdvanceTo(now vtime.Time) {
 	if s.policy == Sporadic {
 		for _, amount := range s.replQ.PopUntil(now) {
+			before := s.remaining
 			s.remaining += amount
 			if s.remaining > s.budget {
 				s.remaining = s.budget
+			}
+			if s.obs != nil && s.remaining > before {
+				// The queue does not retain the exact replenishment instant,
+				// so the event is stamped at the delivery instant `now` (at
+				// most one decision point later).
+				s.obs.Replenished(now, s.remaining-before, s.remaining)
 			}
 		}
 		for s.lastReplenish.Add(s.period) <= now {
@@ -137,6 +162,9 @@ func (s *Server) AdvanceTo(now vtime.Time) {
 	}
 	for s.lastReplenish.Add(s.period) <= now {
 		s.lastReplenish = s.lastReplenish.Add(s.period)
+		if s.obs != nil && s.remaining < s.budget {
+			s.obs.Replenished(s.lastReplenish, s.budget-s.remaining, s.budget)
+		}
 		s.remaining = s.budget
 	}
 }
@@ -152,6 +180,9 @@ func (s *Server) Consume(start vtime.Time, d vtime.Duration) {
 	if s.policy == Sporadic && d > 0 {
 		s.replQ.Push(start.Add(s.period), d)
 	}
+	if s.obs != nil && d > 0 && s.remaining == 0 {
+		s.obs.Depleted(start.Add(d), 0)
+	}
 }
 
 // NoteIdle tells the server that, at the current instant, the partition has
@@ -160,7 +191,11 @@ func (s *Server) Consume(start vtime.Time, d vtime.Duration) {
 // policies retain it. It returns true if budget was discarded.
 func (s *Server) NoteIdle(now vtime.Time) bool {
 	if s.policy == Polling && s.remaining > 0 {
+		discarded := s.remaining
 		s.remaining = 0
+		if s.obs != nil {
+			s.obs.Depleted(now, discarded)
+		}
 		return true
 	}
 	return false

@@ -99,6 +99,26 @@ func (st *state) arrivalAnchor() vtime.Time {
 	return st.nextArrival
 }
 
+// Observer receives job lifecycle callbacks from a Scheduler. It is the
+// low-level feed of the telemetry event stream: the hierarchical engine
+// installs one per partition and forwards to the attached sink. Observer is
+// separate from the public OnComplete callback so user code and telemetry
+// never clobber each other.
+type Observer interface {
+	// JobReleased fires when a job arrives (is added to the backlog).
+	JobReleased(j *Job)
+	// JobDispatched fires when a job is granted the CPU; first is true on
+	// the job's first-ever execution (false on a resume after preemption).
+	JobDispatched(j *Job, at vtime.Time, first bool)
+	// JobPreempted fires when a mid-execution job loses the CPU to another
+	// job of the same partition. (Partition-level preemptions — the whole
+	// partition losing the CPU — are reported by the engine, which is the
+	// only layer that sees them.)
+	JobPreempted(j *Job, at vtime.Time)
+	// JobCompleted fires for every finished job, after OnComplete.
+	JobCompleted(c Completion)
+}
+
 // Scheduler is a fixed-priority preemptive scheduler over one partition's
 // tasks. It is driven by its partition's share of the CPU: the hierarchical
 // engine tells it how much time passed while the partition was executing.
@@ -106,6 +126,13 @@ type Scheduler struct {
 	states []*state
 	// OnComplete, when non-nil, is invoked for every finished job.
 	OnComplete func(Completion)
+	// Observer, when non-nil, receives job lifecycle callbacks (see
+	// Observer). The engine installs it; user code should prefer OnComplete
+	// or a telemetry sink.
+	Observer Observer
+	// lastJob is the most recently dispatched, still-unfinished job; it is
+	// tracked only while Observer is set (dispatch/preempt edge detection).
+	lastJob *Job
 	// Shuffle, when non-nil, makes the local scheduler pick uniformly among
 	// the tasks with pending jobs instead of the highest-priority one — a
 	// TaskShuffler-style local randomization (Yoon et al., RTAS 2016, the
@@ -158,13 +185,17 @@ func (s *Scheduler) ReleaseUpTo(now vtime.Time) {
 					demand = st.task.WCET
 				}
 			}
-			st.pending = append(st.pending, &Job{
+			j := &Job{
 				Task:      st.task,
 				Index:     st.nextIndex,
 				Arrival:   arrival,
 				Demand:    demand,
 				Remaining: demand,
-			})
+			}
+			st.pending = append(st.pending, j)
+			if s.Observer != nil {
+				s.Observer.JobReleased(j)
+			}
 			gap := st.task.Period
 			if st.task.PeriodFn != nil {
 				gap = st.task.PeriodFn(st.nextIndex, arrival)
@@ -242,6 +273,13 @@ func (s *Scheduler) Run(start vtime.Time, d vtime.Duration) vtime.Duration {
 		if job == nil {
 			break
 		}
+		if s.Observer != nil && job != s.lastJob {
+			if prev := s.lastJob; prev != nil && prev.Remaining > 0 {
+				s.Observer.JobPreempted(prev, start.Add(used))
+			}
+			s.Observer.JobDispatched(job, start.Add(used), job.Remaining == job.Demand)
+			s.lastJob = job
+		}
 		slice := (d - used).Min(job.Remaining)
 		job.Remaining -= slice
 		used += slice
@@ -250,6 +288,20 @@ func (s *Scheduler) Run(start vtime.Time, d vtime.Duration) vtime.Duration {
 		}
 	}
 	return used
+}
+
+// TakeInFlight returns the most recently dispatched still-unfinished job and
+// forgets it, so the job's next dispatch is reported again. The engine calls
+// it when the partition as a whole loses the CPU mid-job (a partition-level
+// preemption). It returns nil when no job is mid-execution or no Observer is
+// installed (the tracking only runs under an Observer).
+func (s *Scheduler) TakeInFlight() *Job {
+	j := s.lastJob
+	s.lastJob = nil
+	if j == nil || j.Remaining == 0 || j.Remaining == j.Demand {
+		return nil
+	}
+	return j
 }
 
 // ShortestRemaining returns the remaining demand of the job that would run
@@ -267,12 +319,21 @@ func (s *Scheduler) finish(job *Job, at vtime.Time) {
 	// The finished job is necessarily the front of its task's backlog.
 	st.pending = st.pending[1:]
 	s.completed++
-	if s.OnComplete != nil {
-		s.OnComplete(Completion{
+	if s.lastJob == job {
+		s.lastJob = nil
+	}
+	if s.OnComplete != nil || s.Observer != nil {
+		c := Completion{
 			Job:      *job,
 			Finish:   at,
 			Response: at.Sub(job.Arrival),
-		})
+		}
+		if s.OnComplete != nil {
+			s.OnComplete(c)
+		}
+		if s.Observer != nil {
+			s.Observer.JobCompleted(c)
+		}
 	}
 }
 
@@ -295,4 +356,5 @@ func (s *Scheduler) Reset() {
 		st.pending = nil
 	}
 	s.completed = 0
+	s.lastJob = nil
 }

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event export: serializes a recorded event stream into the
+// JSON trace-event format understood by Perfetto (https://ui.perfetto.dev)
+// and chrome://tracing. The layout is
+//
+//	pid 1 "schedule"
+//	  tid 1..n      one track per partition, in priority order: execution
+//	                slices ("X" events), with deadline misses and budget
+//	                depletions as instant markers on the owning track
+//	  tid n+1       "policy": one instant per global scheduling decision
+//	  tid n+2       "inversions": one slice per priority-inversion window
+//
+// Timestamps are virtual microseconds, which is exactly the trace-event
+// unit, so the Perfetto timeline reads in simulated time. Output is written
+// with a fixed key order so a deterministic run exports byte-stable JSON.
+
+// WriteChromeTrace writes events as a Chrome trace-event JSON object.
+// partitions are the partition names in system priority order; they label
+// the per-partition tracks.
+func WriteChromeTrace(w io.Writer, events []Event, partitions []string) error {
+	bw := bufio.NewWriter(w)
+	cw := &chromeWriter{w: bw}
+	cw.raw(`{"displayTimeUnit":"ms","traceEvents":[`)
+
+	// Track metadata.
+	cw.meta("process_name", 0, "schedule")
+	for i, name := range partitions {
+		cw.meta("thread_name", i+1, name)
+	}
+	policyTID := len(partitions) + 1
+	invTID := len(partitions) + 2
+	cw.meta("thread_name", policyTID, "policy")
+	cw.meta("thread_name", invTID, "inversions")
+
+	var invOpen bool
+	var invStart int64
+	for _, e := range events {
+		switch e.Kind {
+		case KindSlice:
+			if e.Partition < 0 || e.Dur <= 0 {
+				continue
+			}
+			cw.slice(partitionName(partitions, e.Partition), "partition",
+				e.Partition+1, int64(e.Time), int64(e.Dur))
+		case KindDecision:
+			name := "pick:idle"
+			if e.Partition >= 0 {
+				name = "pick:" + partitionName(partitions, e.Partition)
+			}
+			cw.instant(name, "decision", policyTID, int64(e.Time))
+		case KindInversionOpen:
+			invOpen, invStart = true, int64(e.Time)
+		case KindInversionClose:
+			if invOpen {
+				cw.slice("inversion", "inversion", invTID, invStart, int64(e.Time)-invStart)
+				invOpen = false
+			}
+		case KindDeadlineMiss:
+			if e.Partition >= 0 {
+				cw.instant("miss:"+e.Task, "deadline", e.Partition+1, int64(e.Time))
+			}
+		case KindBudgetDeplete:
+			if e.Partition >= 0 {
+				cw.instant("budget-depleted", "budget", e.Partition+1, int64(e.Time))
+			}
+		}
+	}
+	cw.raw("\n]}\n")
+	if cw.err != nil {
+		return cw.err
+	}
+	return bw.Flush()
+}
+
+func partitionName(names []string, i int) string {
+	if i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return "p" + strconv.Itoa(i)
+}
+
+// chromeWriter emits trace-event entries with a fixed key order and sticky
+// error handling.
+type chromeWriter struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+}
+
+func (c *chromeWriter) raw(s string) {
+	if c.err == nil {
+		_, c.err = c.w.WriteString(s)
+	}
+}
+
+func (c *chromeWriter) sep() {
+	if c.first {
+		c.raw(",")
+	}
+	c.raw("\n")
+	c.first = true
+}
+
+func (c *chromeWriter) meta(kind string, tid int, name string) {
+	c.sep()
+	c.raw(`{"ph":"M","pid":1,"tid":` + strconv.Itoa(tid) +
+		`,"name":"` + kind + `","args":{"name":` + strconv.Quote(name) + `}}`)
+}
+
+func (c *chromeWriter) slice(name, cat string, tid int, ts, dur int64) {
+	c.sep()
+	c.raw(`{"ph":"X","pid":1,"tid":` + strconv.Itoa(tid) +
+		`,"ts":` + strconv.FormatInt(ts, 10) +
+		`,"dur":` + strconv.FormatInt(dur, 10) +
+		`,"name":` + strconv.Quote(name) +
+		`,"cat":"` + cat + `"}`)
+}
+
+func (c *chromeWriter) instant(name, cat string, tid int, ts int64) {
+	c.sep()
+	c.raw(`{"ph":"i","pid":1,"tid":` + strconv.Itoa(tid) +
+		`,"ts":` + strconv.FormatInt(ts, 10) +
+		`,"s":"t","name":` + strconv.Quote(name) +
+		`,"cat":"` + cat + `"}`)
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"timedice/internal/vtime"
+)
+
+// JSONL wire format: one event per line, fixed key order, e.g.
+//
+//	{"t":12000,"k":"complete","p":2,"task":"t3,1","job":5,"dur":1500}
+//
+// Keys: t (virtual time, µs), k (Kind wire name), p (partition index,
+// omitted when -1), task/job (task kinds only), dur and aux (omitted when
+// zero). The fixed key order and the omission rules make the output of a
+// deterministic run byte-stable, which the golden tests rely on.
+
+// JSONLSink streams events to w as JSONL. It buffers internally; call Flush
+// (or Close) when the run ends. Write errors are sticky and reported by
+// Flush/Err.
+type JSONLSink struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLSink wraps w in a streaming JSONL event sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w), buf: make([]byte, 0, 128)}
+}
+
+// Event implements Sink.
+func (s *JSONLSink) Event(e Event) {
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(e.Time), 10)
+	b = append(b, `,"k":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	if e.Partition >= 0 {
+		b = append(b, `,"p":`...)
+		b = strconv.AppendInt(b, int64(e.Partition), 10)
+	}
+	if e.Task != "" {
+		b = append(b, `,"task":`...)
+		b = strconv.AppendQuote(b, e.Task)
+		b = append(b, `,"job":`...)
+		b = strconv.AppendInt(b, e.Job, 10)
+	}
+	if e.Dur != 0 {
+		b = append(b, `,"dur":`...)
+		b = strconv.AppendInt(b, int64(e.Dur), 10)
+	}
+	if e.Aux != 0 {
+		b = append(b, `,"aux":`...)
+		b = strconv.AppendInt(b, e.Aux, 10)
+	}
+	b = append(b, '}', '\n')
+	s.buf = b[:0]
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error { return s.err }
+
+// jsonlEvent is the decode target for one JSONL line.
+type jsonlEvent struct {
+	T    int64  `json:"t"`
+	K    string `json:"k"`
+	P    *int   `json:"p"`
+	Task string `json:"task"`
+	Job  int64  `json:"job"`
+	Dur  int64  `json:"dur"`
+	Aux  int64  `json:"aux"`
+}
+
+// ReadJSONL parses a JSONL event stream written by JSONLSink. Blank lines
+// are skipped; an unknown kind or malformed line is an error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: %w", line, err)
+		}
+		k := KindFromString(je.K)
+		if k == 0 {
+			return nil, fmt.Errorf("telemetry: jsonl line %d: unknown event kind %q", line, je.K)
+		}
+		e := Event{
+			Time:      vtime.Time(je.T),
+			Kind:      k,
+			Partition: -1,
+			Task:      je.Task,
+			Job:       je.Job,
+			Dur:       vtime.Duration(je.Dur),
+			Aux:       je.Aux,
+		}
+		if je.P != nil {
+			e.Partition = *je.P
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: jsonl: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"timedice/internal/vtime"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{Time: 0, Kind: KindTaskArrival, Partition: 0, Task: "t1,1", Job: 0},
+		{Time: 100, Kind: KindDecision, Partition: 2, Aux: 3},
+		{Time: 100, Kind: KindInversionOpen, Partition: 2},
+		{Time: 100, Kind: KindTaskStart, Partition: 2, Task: "t3,1", Job: 5, Aux: 1},
+		{Time: 1200, Kind: KindTaskPreempt, Partition: 2, Task: "t3,1", Job: 5},
+		{Time: 1200, Kind: KindSlice, Partition: 2, Dur: 1100},
+		{Time: 1200, Kind: KindDecision, Partition: -1, Aux: -1},
+		{Time: 1300, Kind: KindInversionClose, Partition: -1, Dur: 200},
+		{Time: 1300, Kind: KindSlice, Partition: -1, Dur: 100},
+		{Time: 2000, Kind: KindBudgetReplenish, Partition: 1, Dur: 8000, Aux: 8000},
+		{Time: 2500, Kind: KindBudgetDeplete, Partition: 1, Dur: 5500, Aux: 1},
+		{Time: 9000, Kind: KindTaskComplete, Partition: 2, Task: "t3,1", Job: 5, Dur: 8900},
+		{Time: 9000, Kind: KindDeadlineMiss, Partition: 2, Task: "t3,1", Job: 5, Dur: 400},
+	}
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	for _, e := range in {
+		sink.Event(e)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d events, wrote %d", len(out), len(in))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(out[i], in[i]) {
+			t.Errorf("event %d: wrote %+v, read %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestJSONLWireFormat(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sink.Event(Event{Time: vtime.Time(12 * vtime.Millisecond), Kind: KindTaskComplete,
+		Partition: 2, Task: "t3,1", Job: 5, Dur: 1500})
+	sink.Event(Event{Time: 42, Kind: KindDecision, Partition: -1})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":12000,"k":"complete","p":2,"task":"t3,1","job":5,"dur":1500}` + "\n" +
+		`{"t":42,"k":"decision"}` + "\n"
+	if buf.String() != want {
+		t.Errorf("wire format drifted:\ngot  %q\nwant %q", buf.String(), want)
+	}
+}
+
+func TestJSONLReadErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1,"k":"nope"}` + "\n")); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("{broken\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	// Blank lines are fine.
+	evs, err := ReadJSONL(strings.NewReader("\n" + `{"t":1,"k":"slice","dur":5}` + "\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Partition != -1 || evs[0].Dur != 5 {
+		t.Errorf("got %+v", evs)
+	}
+}
+
+// errWriter fails after n bytes, to exercise the sticky-error path.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errFull
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errFull = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "disk full" }
+
+func TestJSONLStickyError(t *testing.T) {
+	sink := NewJSONLSink(&errWriter{n: 8})
+	for i := 0; i < 10000; i++ {
+		sink.Event(Event{Time: vtime.Time(i), Kind: KindSlice, Partition: -1, Dur: 1})
+	}
+	if sink.Flush() == nil || sink.Err() == nil {
+		t.Error("write error was swallowed")
+	}
+}

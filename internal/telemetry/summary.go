@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"timedice/internal/vtime"
+)
+
+// PartitionSummary aggregates one partition's slice of a run.
+type PartitionSummary struct {
+	Partition      int
+	Arrivals       int64
+	Completions    int64
+	DeadlineMisses int64
+	BusyTime       vtime.Duration
+	WorstResponse  vtime.Duration
+	MeanResponse   float64 // µs
+}
+
+// Summary is the roll-up of a recorded (or re-read) event stream — the
+// numbers the engine's Counters report, recomputed purely from events, so a
+// saved JSONL log can be audited offline against the live run.
+type Summary struct {
+	Events           int64
+	Horizon          vtime.Time // latest instant covered by any event
+	Decisions        int64
+	IdleDecisions    int64
+	Switches         int64
+	BusyTime         vtime.Duration
+	IdleTime         vtime.Duration
+	Completions      int64
+	DeadlineMisses   int64
+	InversionWindows int64 // opened windows
+	InversionTime    vtime.Duration
+	Preemptions      int64
+	BudgetDepletions int64
+	Partitions       []PartitionSummary // indexed by partition, dense
+}
+
+// Summarize folds an event stream into a Summary. It accepts streams from a
+// Recorder or from ReadJSONL; order must be emission order.
+func Summarize(events []Event) Summary {
+	s := Summary{}
+	parts := map[int]*PartitionSummary{}
+	part := func(i int) *PartitionSummary {
+		if p, ok := parts[i]; ok {
+			return p
+		}
+		p := &PartitionSummary{Partition: i}
+		parts[i] = p
+		return p
+	}
+	respSum := map[int]float64{}
+	lastPick, started := -1, false
+	for _, e := range events {
+		s.Events++
+		if e.Time > s.Horizon {
+			s.Horizon = e.Time
+		}
+		if end := e.Time.Add(e.Dur); e.Kind == KindSlice && end > s.Horizon {
+			s.Horizon = end
+		}
+		switch e.Kind {
+		case KindDecision:
+			s.Decisions++
+			if e.Partition < 0 {
+				s.IdleDecisions++
+			}
+			if !started || e.Partition != lastPick {
+				s.Switches++
+			}
+			started, lastPick = true, e.Partition
+		case KindSlice:
+			if e.Partition < 0 {
+				s.IdleTime += e.Dur
+			} else {
+				s.BusyTime += e.Dur
+				part(e.Partition).BusyTime += e.Dur
+			}
+		case KindTaskArrival:
+			part(e.Partition).Arrivals++
+		case KindTaskComplete:
+			s.Completions++
+			p := part(e.Partition)
+			p.Completions++
+			if e.Dur > p.WorstResponse {
+				p.WorstResponse = e.Dur
+			}
+			respSum[e.Partition] += float64(e.Dur)
+		case KindDeadlineMiss:
+			s.DeadlineMisses++
+			part(e.Partition).DeadlineMisses++
+		case KindTaskPreempt:
+			s.Preemptions++
+		case KindInversionOpen:
+			s.InversionWindows++
+		case KindInversionClose:
+			s.InversionTime += e.Dur
+		case KindBudgetDeplete:
+			s.BudgetDepletions++
+		}
+	}
+	idxs := make([]int, 0, len(parts))
+	for i := range parts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		p := parts[i]
+		if p.Completions > 0 {
+			p.MeanResponse = respSum[i] / float64(p.Completions)
+		}
+		s.Partitions = append(s.Partitions, *p)
+	}
+	return s
+}
+
+// WriteText renders the summary as a small report. names labels partitions
+// (may be nil or shorter than the partition list).
+func (s Summary) WriteText(w io.Writer, names []string) error {
+	total := s.BusyTime + s.IdleTime
+	util := 0.0
+	if total > 0 {
+		util = float64(s.BusyTime) / float64(total)
+	}
+	if _, err := fmt.Fprintf(w,
+		"events            %d\nhorizon           %v\ndecisions         %d (%d idle, %d switches)\nbusy/idle         %v / %v (utilization %.1f%%)\ncompletions       %d\ndeadline misses   %d\npreemptions       %d\nbudget depletions %d\ninversion windows %d (total %v)\n",
+		s.Events, s.Horizon, s.Decisions, s.IdleDecisions, s.Switches,
+		s.BusyTime, s.IdleTime, 100*util,
+		s.Completions, s.DeadlineMisses, s.Preemptions, s.BudgetDepletions,
+		s.InversionWindows, s.InversionTime); err != nil {
+		return err
+	}
+	if len(s.Partitions) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%-10s %9s %9s %7s %12s %12s %12s\n",
+		"partition", "arrivals", "complete", "misses", "busy", "worst-resp", "mean-resp"); err != nil {
+		return err
+	}
+	for _, p := range s.Partitions {
+		label := partitionName(names, p.Partition)
+		if _, err := fmt.Fprintf(w, "%-10s %9d %9d %7d %12v %12v %9.3fms\n",
+			label, p.Arrivals, p.Completions, p.DeadlineMisses, p.BusyTime,
+			p.WorstResponse, p.MeanResponse/1000); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"timedice/internal/server"
 	"timedice/internal/stats"
 	"timedice/internal/task"
+	"timedice/internal/telemetry"
 	"timedice/internal/trace"
 	"timedice/internal/vtime"
 	"timedice/internal/workload"
@@ -125,28 +126,56 @@ const (
 // FixedPriority is the NoRandom policy value.
 type FixedPriority = sched.FixedPriority
 
+// SystemOption customizes NewSystem / NewBuiltSystem beyond the required
+// (spec, policy, seed) triple.
+type SystemOption func(*systemOptions)
+
+type systemOptions struct {
+	sink           telemetry.Sink
+	quantum        Duration
+	measureLatency bool
+}
+
+// WithTelemetry attaches a telemetry sink to the built system: every
+// scheduling event (arrivals, dispatches, completions, deadline misses,
+// budget depletion/replenishment, decisions, inversion windows, slices) is
+// emitted as a structured TelemetryEvent. With no sink attached the engine
+// pays only nil checks.
+func WithTelemetry(sink TelemetrySink) SystemOption {
+	return func(o *systemOptions) { o.sink = sink }
+}
+
+// WithPolicyQuantum overrides MIN_INV_SIZE for the TimeDice policies
+// (default 1 ms).
+func WithPolicyQuantum(q Duration) SystemOption {
+	return func(o *systemOptions) { o.quantum = q }
+}
+
+// WithLatencyMeasurement turns on per-decision wall-clock latency
+// measurement into Counters.PolicyLatency (a streaming histogram).
+func WithLatencyMeasurement() SystemOption {
+	return func(o *systemOptions) { o.measureLatency = true }
+}
+
 // NewSystem builds spec and wires it to the policy kind with the given seed.
-func NewSystem(spec SystemSpec, kind PolicyKind, seed uint64) (*System, error) {
-	built, err := spec.Build()
-	if err != nil {
-		return nil, err
-	}
-	pol, err := policies.Build(kind, built.Partitions, policies.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return engine.New(built.Partitions, pol, rng.New(seed))
+func NewSystem(spec SystemSpec, kind PolicyKind, seed uint64, opts ...SystemOption) (*System, error) {
+	sys, _, err := NewBuiltSystem(spec, kind, seed, opts...)
+	return sys, err
 }
 
 // NewBuiltSystem is NewSystem but also returns the Built handles so callers
 // can instrument tasks (execution hooks, completion callbacks) before
 // running.
-func NewBuiltSystem(spec SystemSpec, kind PolicyKind, seed uint64) (*System, *Built, error) {
+func NewBuiltSystem(spec SystemSpec, kind PolicyKind, seed uint64, opts ...SystemOption) (*System, *Built, error) {
+	var o systemOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	built, err := spec.Build()
 	if err != nil {
 		return nil, nil, err
 	}
-	pol, err := policies.Build(kind, built.Partitions, policies.Options{})
+	pol, err := policies.Build(kind, built.Partitions, policies.Options{Quantum: o.quantum})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -154,6 +183,10 @@ func NewBuiltSystem(spec SystemSpec, kind PolicyKind, seed uint64) (*System, *Bu
 	if err != nil {
 		return nil, nil, err
 	}
+	if o.sink != nil {
+		sys.AttachTelemetry(o.sink)
+	}
+	sys.MeasureLatency = o.measureLatency
 	return sys, built, nil
 }
 
@@ -381,6 +414,68 @@ type (
 	Histogram = stats.Histogram
 	// BoxPlot is a five-number summary.
 	BoxPlot = stats.BoxPlot
+)
+
+// Telemetry: the structured observability layer (see internal/telemetry for
+// the event taxonomy and metrics catalogue).
+type (
+	// TelemetryEvent is one structured scheduler event.
+	TelemetryEvent = telemetry.Event
+	// TelemetryEventKind discriminates TelemetryEvent records.
+	TelemetryEventKind = telemetry.Kind
+	// TelemetrySink receives emitted events (attach via WithTelemetry or
+	// System.AttachTelemetry).
+	TelemetrySink = telemetry.Sink
+	// TelemetryFunc adapts a function to a TelemetrySink.
+	TelemetryFunc = telemetry.Func
+	// TelemetryMulti fans events out to several sinks.
+	TelemetryMulti = telemetry.Multi
+	// TelemetryRecorder buffers the whole event stream in memory.
+	TelemetryRecorder = telemetry.Recorder
+	// TelemetrySummary is the roll-up Summarize computes from a stream.
+	TelemetrySummary = telemetry.Summary
+	// MetricsRegistry holds named counters, gauges, and streaming
+	// fixed-bucket histograms with deterministic text/CSV dumps.
+	MetricsRegistry = telemetry.Registry
+	// MetricsHistogram is a constant-memory streaming histogram.
+	MetricsHistogram = telemetry.Histogram
+	// MetricsCollector aggregates the event stream into a MetricsRegistry.
+	MetricsCollector = telemetry.Collector
+)
+
+// Telemetry event kinds.
+const (
+	EventTaskArrival     = telemetry.KindTaskArrival
+	EventTaskStart       = telemetry.KindTaskStart
+	EventTaskPreempt     = telemetry.KindTaskPreempt
+	EventTaskComplete    = telemetry.KindTaskComplete
+	EventDeadlineMiss    = telemetry.KindDeadlineMiss
+	EventBudgetDeplete   = telemetry.KindBudgetDeplete
+	EventBudgetReplenish = telemetry.KindBudgetReplenish
+	EventDecision        = telemetry.KindDecision
+	EventInversionOpen   = telemetry.KindInversionOpen
+	EventInversionClose  = telemetry.KindInversionClose
+	EventSlice           = telemetry.KindSlice
+)
+
+// Telemetry constructors and exporters.
+var (
+	// NewTelemetryRecorder returns an empty in-memory event recorder.
+	NewTelemetryRecorder = telemetry.NewRecorder
+	// NewMetricsRegistry returns an empty metrics registry.
+	NewMetricsRegistry = telemetry.NewRegistry
+	// NewMetricsCollector builds an event→metrics bridge for the given
+	// partition names.
+	NewMetricsCollector = telemetry.NewCollector
+	// NewJSONLSink streams events to a writer as JSONL.
+	NewJSONLSink = telemetry.NewJSONLSink
+	// ReadEventJSONL parses a JSONL event log back into events.
+	ReadEventJSONL = telemetry.ReadJSONL
+	// WriteChromeTrace exports a recorded event stream as Chrome trace-event
+	// JSON, loadable in Perfetto or chrome://tracing.
+	WriteChromeTrace = telemetry.WriteChromeTrace
+	// SummarizeEvents folds an event stream into a TelemetrySummary.
+	SummarizeEvents = telemetry.Summarize
 )
 
 // NewRecorder records schedule segments overlapping [from, until).
