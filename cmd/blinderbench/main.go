@@ -16,10 +16,11 @@ func main() {
 	fs := flag.NewFlagSet("blinderbench", flag.ContinueOnError)
 	windows := fs.Int("windows", 2000, "signaled bits per configuration")
 	seed := fs.Uint64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "trial workers: 0 = one per CPU, 1 = sequential")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	sc := experiments.Scale{TestWindows: *windows, Seed: *seed}
+	sc := experiments.Scale{TestWindows: *windows, Seed: *seed, Parallel: *parallel}
 	if _, err := experiments.Fig18(sc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "blinderbench:", err)
 		os.Exit(1)

@@ -30,6 +30,7 @@ func run(args []string) error {
 	fig := fs.String("fig", "all", "experiment: 4 | 12 | 13 | 14 | 15 | car | ablation | rate | multipair | receivers | detect | all")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick | full")
 	seed := fs.Uint64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "trial workers: 0 = one per CPU, 1 = sequential")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,6 +39,7 @@ func run(args []string) error {
 		sc = experiments.Full()
 	}
 	sc.Seed = *seed
+	sc.Parallel = *parallel
 
 	type runner struct {
 		name string

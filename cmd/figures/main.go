@@ -15,6 +15,7 @@ import (
 
 	"timedice/internal/covert"
 	"timedice/internal/engine"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
 	"timedice/internal/trace"
@@ -34,6 +35,7 @@ func run(args []string) error {
 	outDir := fs.String("out", "figures", "output directory")
 	windows := fs.Int("windows", 120, "monitoring windows per heatmap")
 	seed := fs.Uint64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "render workers: 0 = one per CPU, 1 = sequential")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,20 +43,17 @@ func run(args []string) error {
 		return err
 	}
 
+	// The five renders simulate independent systems; fan them out.
+	var renders []func() error
 	// Fig. 6: schedule traces of the 3-partition example.
 	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
-		if err := renderGantt(*outDir, kind, *seed); err != nil {
-			return err
-		}
+		renders = append(renders, func() error { return renderGantt(*outDir, kind, *seed) })
 	}
-
 	// Figs. 4(b)/13: execution-vector heatmaps under the three policies.
 	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
-		if err := renderHeatmap(*outDir, kind, *windows, *seed); err != nil {
-			return err
-		}
+		renders = append(renders, func() error { return renderHeatmap(*outDir, kind, *windows, *seed) })
 	}
-	return nil
+	return runner.Do(*parallel, renders...)
 }
 
 func renderGantt(outDir string, kind policies.Kind, seed uint64) error {

@@ -22,10 +22,11 @@ func main() {
 	seed := fs.Uint64("seed", 1, "random seed")
 	naive := fs.Bool("naive", false, "also run the unprincipled-randomization shortfall comparison")
 	randomness := fs.Bool("entropy", false, "also run the schedule-randomness metrics (slot entropy, exhaustion spread)")
+	parallel := fs.Int("parallel", 1, "trial workers: 0 = one per CPU, 1 = sequential (keeps Table IV latencies noise-free)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	sc := experiments.Scale{SimSeconds: *secs, Seed: *seed}
+	sc := experiments.Scale{SimSeconds: *secs, Seed: *seed, Parallel: *parallel}
 	if _, err := experiments.Overhead(sc, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "overheadbench:", err)
 		os.Exit(1)

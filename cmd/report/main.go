@@ -30,6 +30,7 @@ func run(args []string) error {
 	outPath := fs.String("out", "report.md", "output markdown file (- for stdout)")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick | full")
 	seed := fs.Uint64("seed", 1, "random seed")
+	parallel := fs.Int("parallel", 0, "trial workers: 0 = one per CPU, 1 = sequential")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,6 +39,7 @@ func run(args []string) error {
 		sc = experiments.Full()
 	}
 	sc.Seed = *seed
+	sc.Parallel = *parallel
 
 	var w io.Writer
 	if *outPath == "-" {

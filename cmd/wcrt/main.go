@@ -33,6 +33,7 @@ func run(args []string) error {
 	alpha := fs.Float64("alpha", workload.DefaultAlpha, "budget fraction B_i = alpha*T_i")
 	beta := fs.Float64("beta", workload.DefaultBeta, "WCET fraction e_ij = beta*p_ij")
 	seed := fs.Uint64("seed", 1, "random seed for the empirical run")
+	parallel := fs.Int("parallel", 0, "trial workers for the empirical run: 0 = one per CPU, 1 = sequential")
 	configPath := fs.String("config", "", "analyze a JSON system spec instead of Table I (analytic only)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,7 +57,7 @@ func run(args []string) error {
 
 	spec := workload.TableI(*alpha, *beta)
 	if *empirical > 0 {
-		sc := experiments.Scale{SimSeconds: *empirical, Seed: *seed}
+		sc := experiments.Scale{SimSeconds: *empirical, Seed: *seed, Parallel: *parallel}
 		_, err := experiments.Table02(sc, os.Stdout)
 		return err
 	}

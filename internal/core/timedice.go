@@ -379,6 +379,12 @@ func (p *Policy) Pick(sys *engine.System, now vtime.Time) *partition.Partition {
 	if len(res.Candidates) == 0 {
 		return nil
 	}
+	// Select trims weights to length zero and appends at most one entry per
+	// candidate plus the idle option; holding capacity for that here keeps
+	// the whole decision allocation-free.
+	if cap(p.weights) < len(p.states)+1 {
+		p.weights = make([]float64, 0, len(p.states)+1)
+	}
 	choice := Select(p.states, res, now, p.mode, rnd, p.weights)
 	if choice == IdleChoice {
 		p.stats.IdleSelected++

@@ -70,8 +70,12 @@ type Counters struct {
 	IdleDecisions int64          // decisions that chose to idle
 	BusyTime      vtime.Duration // CPU time spent executing partitions
 	IdleTime      vtime.Duration // CPU time spent idle
-	PolicyTime    time.Duration  // wall-clock time inside Pick (Fig. 17)
-	PolicySamples int64          // number of timed Pick calls
+	// PolicyTime and PolicySamples accumulate the wall-clock time inside Pick
+	// (Fig. 17) and the number of timed calls. They are maintained only when
+	// System.MeasureLatency is set — the unmeasured hot path makes no clock
+	// syscalls at all — and are zero otherwise.
+	PolicyTime    time.Duration
+	PolicySamples int64
 
 	// DeadlineMisses counts jobs that completed after their absolute
 	// deadline (arrival + relative deadline). Jobs still pending when the
@@ -89,12 +93,6 @@ type Counters struct {
 	// individual Pick wall-clock latencies, populated when MeasureLatency is
 	// set. Constant memory regardless of run length.
 	PolicyLatency *telemetry.Histogram
-
-	// PolicyLatencyN previously stored every individual Pick latency.
-	//
-	// Deprecated: the unbounded sample slice grew with the run length; it is
-	// no longer populated. Use PolicyLatency instead.
-	PolicyLatencyN []time.Duration
 }
 
 // System is a complete simulated system: partitions under one global policy.
@@ -116,6 +114,18 @@ type System struct {
 	now     vtime.Time
 	running int // index of last picked partition, or -1
 	perPart []vtime.Duration
+
+	// nextEv caches each partition's NextLocalEvent (earliest replenishment
+	// or task arrival). An entry is exact between refreshes: a partition's
+	// next event can only change when events due at or before now are
+	// delivered to it, or when it executes (budget consumption schedules the
+	// replacement replenishment) — both sites refresh the entry. This lets
+	// step skip the full-partition delivery and horizon scans for quiescent
+	// partitions. Entries start at zero so the first step touches everyone
+	// (task arrival anchors are computed lazily on first delivery).
+	nextEv []vtime.Time
+	// runnableBuf is the reusable backing array for Runnable.
+	runnableBuf []*partition.Partition
 
 	sink     telemetry.Sink // nil ⇒ telemetry disabled (fast path)
 	invOpen  bool           // an inversion window is currently open
@@ -154,11 +164,13 @@ func New(parts []*partition.Partition, policy GlobalPolicy, rnd *rng.Rand) (*Sys
 		rnd = rng.New(1)
 	}
 	s := &System{
-		Partitions: ordered,
-		Policy:     policy,
-		Rand:       rnd,
-		running:    -1,
-		perPart:    make([]vtime.Duration, len(ordered)),
+		Partitions:  ordered,
+		Policy:      policy,
+		Rand:        rnd,
+		running:     -1,
+		perPart:     make([]vtime.Duration, len(ordered)),
+		nextEv:      make([]vtime.Time, len(ordered)),
+		runnableBuf: make([]*partition.Partition, 0, len(ordered)),
 	}
 	// The lifecycle observers are installed unconditionally: they maintain
 	// the always-on Counters (deadline misses) and forward to the telemetry
@@ -276,13 +288,17 @@ func (s *System) PartitionTime(i int) vtime.Duration { return s.perPart[i] }
 // decreasing priority order. This is the candidate universe global policies
 // choose from; under the polling server it equals the paper's list of active
 // partitions L_t.
+//
+// The returned slice shares a scratch buffer owned by the System: it is valid
+// only until the next Runnable call and must not be retained or mutated.
 func (s *System) Runnable() []*partition.Partition {
-	out := make([]*partition.Partition, 0, len(s.Partitions))
+	out := s.runnableBuf[:0]
 	for _, p := range s.Partitions {
 		if p.Runnable() {
 			out = append(out, p)
 		}
 	}
+	s.runnableBuf = out
 	return out
 }
 
@@ -300,9 +316,14 @@ func (s *System) step(until vtime.Time) {
 	now := s.now
 
 	// Deliver every event due at or before now: replenishments and arrivals.
-	for _, p := range s.Partitions {
-		p.Server.AdvanceTo(now)
-		p.Local.ReleaseUpTo(now)
+	// Partitions whose cached next event is still in the future are quiescent
+	// and skipped — nothing is due for them.
+	for i, p := range s.Partitions {
+		if s.nextEv[i] <= now {
+			p.Server.AdvanceTo(now)
+			p.Local.ReleaseUpTo(now)
+			s.nextEv[i] = p.NextLocalEvent()
+		}
 	}
 	// Polling servers discard budget the moment they hold it with no
 	// pending workload.
@@ -312,7 +333,8 @@ func (s *System) step(until vtime.Time) {
 		}
 	}
 
-	// Global scheduling decision.
+	// Global scheduling decision. The clock reads exist only under
+	// MeasureLatency; the default path makes no syscalls.
 	s.Counters.Decisions++
 	var pick *partition.Partition
 	if s.MeasureLatency {
@@ -326,10 +348,7 @@ func (s *System) step(until vtime.Time) {
 		}
 		s.Counters.PolicyLatency.Observe(float64(lat.Nanoseconds()) / 1e3)
 	} else {
-		t0 := time.Now()
 		pick = s.Policy.Pick(s, now)
-		s.Counters.PolicyTime += time.Since(t0)
-		s.Counters.PolicySamples++
 	}
 
 	pickIdx := -1
@@ -348,11 +367,12 @@ func (s *System) step(until vtime.Time) {
 	}
 
 	// The slice ends at the earliest of: the horizon, any partition's next
-	// replenishment or arrival, the quantum boundary, and — if a partition
-	// runs — its budget depletion or current-job completion.
+	// replenishment or arrival (from the cache — exact, see nextEv), the
+	// quantum boundary, and — if a partition runs — its budget depletion or
+	// current-job completion.
 	horizon := until
-	for _, p := range s.Partitions {
-		if e := p.NextLocalEvent(); e < horizon {
+	for _, e := range s.nextEv {
+		if e < horizon {
 			horizon = e
 		}
 	}
@@ -394,6 +414,9 @@ func (s *System) step(until vtime.Time) {
 		// work, and the defensive minimum-advance must not overdraw it.
 		used := pick.Local.Run(now, d.Min(pick.Server.Remaining()))
 		pick.Server.Consume(now, used)
+		// Consuming budget schedules the replacement replenishment, so the
+		// executed partition's next event may have moved; refresh its cache.
+		s.nextEv[pick.Index] = pick.NextLocalEvent()
 		s.perPart[pick.Index] += used
 		s.Counters.BusyTime += used
 		end := now.Add(used)
@@ -514,5 +537,6 @@ func (s *System) Reset() {
 	s.invStart = 0
 	for i := range s.perPart {
 		s.perPart[i] = 0
+		s.nextEv[i] = 0
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"timedice/internal/detect"
 	"timedice/internal/engine"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/model"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
@@ -35,15 +36,17 @@ type DetectionResult struct {
 // mitigation and detection compose.
 func Detection(sc Scale, w io.Writer) (*DetectionResult, error) {
 	sc = sc.withDefaults()
-	res := &DetectionResult{}
+	kinds := []policies.Kind{policies.NoRandom, policies.TimeDiceW}
+	rows, err := runner.Map(sc.Parallel, kinds, func(_ int, kind policies.Kind) (DetectionRow, error) {
+		return detectionRun(kind, sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DetectionResult{Rows: rows}
 	fprintf(w, "Defender-side sender detection (budget-modulation bimodality)\n")
-	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
-		row, err := detectionRun(kind, sc)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
-		fprintf(w, "%-10s sender-first=%v scores:", kind, row.SenderFirst)
+	for _, row := range res.Rows {
+		fprintf(w, "%-10s sender-first=%v scores:", row.Policy, row.SenderFirst)
 		for _, r := range row.Ranking {
 			fprintf(w, " %s=%.3f", r.Partition, r.Score)
 		}

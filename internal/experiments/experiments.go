@@ -25,6 +25,12 @@ type Scale struct {
 	// SimSeconds is the simulated duration of responsiveness/overhead runs.
 	SimSeconds int
 	Seed       uint64
+	// Parallel is the number of worker goroutines independent trials fan out
+	// across: 0 (the default) uses one worker per available CPU, 1 forces a
+	// sequential run, n > 1 uses exactly n workers. Every trial is a
+	// self-contained deterministic simulation, so the setting changes
+	// wall-clock time only — results are identical at any parallelism.
+	Parallel int
 }
 
 // Full is the paper-scale configuration (10,000 test samples; long runs).

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"timedice/internal/covert"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 	"timedice/internal/stats"
 	"timedice/internal/trace"
@@ -37,17 +38,40 @@ type Fig04AccuracyPoint struct {
 }
 
 // Fig04 runs the full feasibility experiment. The accuracy curve sweeps
-// profile-phase sizes {1/8, 1/4, 1/2, 1}·sc.ProfileWindows.
+// profile-phase sizes {1/8, 1/4, 1/2, 1}·sc.ProfileWindows. The headline run
+// and the eight accuracy-curve trials are independent simulations and fan
+// out across sc.Parallel workers.
 func Fig04(sc Scale, w io.Writer) (*Fig04Result, error) {
 	sc = sc.withDefaults()
 	res := &Fig04Result{}
 
-	// (a)+(b): one base-load NoRandom run at full profile size.
-	cfg := channelConfig(BaseLoad, policies.NoRandom, sc)
-	run, err := covert.Run(cfg, defaultLearner())
+	// Trial 0 is the (a)+(b) headline run at full profile size; the rest are
+	// the Fig. 4(c) accuracy curve over both loads.
+	type trial struct {
+		load    Load
+		profile int
+	}
+	trials := []trial{{load: BaseLoad, profile: sc.ProfileWindows}}
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		for _, frac := range []int{8, 4, 2, 1} {
+			p := sc.ProfileWindows / frac
+			if p < 16 {
+				p = 16
+			}
+			trials = append(trials, trial{load: load, profile: p})
+		}
+	}
+	runs, err := runner.Map(sc.Parallel, trials, func(_ int, tr trial) (*covert.Result, error) {
+		cfg := channelConfig(tr.load, policies.NoRandom, sc)
+		cfg.ProfileWindows = tr.profile
+		return covert.Run(cfg, defaultLearner())
+	})
 	if err != nil {
 		return nil, err
 	}
+
+	// (a)+(b): distributions and execution vectors of the headline run.
+	run := runs[0]
 	res.Hist0, res.Hist1 = run.Hist0, run.Hist1
 	res.Hist = stats.NewHistogram(res.Hist0.Lo, res.Hist0.Width, len(res.Hist0.Counts))
 	for _, ob := range run.Profile {
@@ -69,29 +93,18 @@ func Fig04(sc Scale, w io.Writer) (*Fig04Result, error) {
 	// (c): accuracy vs profiling windows for both loads.
 	fprintf(w, "Fig 4(c): channel accuracy vs #profiling windows (NoRandom)\n")
 	fprintf(w, "%-12s %8s %10s %10s %10s\n", "load", "profile", "RT acc", "vec acc", "capacity")
-	for _, load := range []Load{BaseLoad, LightLoad} {
-		for _, frac := range []int{8, 4, 2, 1} {
-			p := sc.ProfileWindows / frac
-			if p < 16 {
-				p = 16
-			}
-			cfg := channelConfig(load, policies.NoRandom, sc)
-			cfg.ProfileWindows = p
-			run, err := covert.Run(cfg, defaultLearner())
-			if err != nil {
-				return nil, err
-			}
-			pt := Fig04AccuracyPoint{
-				Load:            load,
-				ProfileWindows:  p,
-				RTAccuracy:      run.RTAccuracy,
-				VectorAccuracy:  run.VecAccuracy[defaultLearner().Name()],
-				ChannelCapacity: run.Capacity,
-			}
-			res.Accuracy = append(res.Accuracy, pt)
-			fprintf(w, "%-12s %8d %9.2f%% %9.2f%% %10.3f\n",
-				pt.Load, pt.ProfileWindows, 100*pt.RTAccuracy, 100*pt.VectorAccuracy, pt.ChannelCapacity)
+	for i, tr := range trials[1:] {
+		r := runs[i+1]
+		pt := Fig04AccuracyPoint{
+			Load:            tr.load,
+			ProfileWindows:  tr.profile,
+			RTAccuracy:      r.RTAccuracy,
+			VectorAccuracy:  r.VecAccuracy[defaultLearner().Name()],
+			ChannelCapacity: r.Capacity,
 		}
+		res.Accuracy = append(res.Accuracy, pt)
+		fprintf(w, "%-12s %8d %9.2f%% %9.2f%% %10.3f\n",
+			pt.Load, pt.ProfileWindows, 100*pt.RTAccuracy, 100*pt.VectorAccuracy, pt.ChannelCapacity)
 	}
 	return res, nil
 }

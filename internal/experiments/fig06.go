@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"timedice/internal/engine"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
 	"timedice/internal/trace"
@@ -21,7 +22,8 @@ type Fig06Result struct {
 	NoRandomSwitches, TimeDiceSwitches int64
 }
 
-// Fig06 records 100 ms of schedule for both policies.
+// Fig06 records 100 ms of schedule for both policies, running the two traces
+// concurrently.
 func Fig06(sc Scale, w io.Writer) (*Fig06Result, error) {
 	sc = sc.withDefaults()
 	res := &Fig06Result{}
@@ -30,31 +32,34 @@ func Fig06(sc Scale, w io.Writer) (*Fig06Result, error) {
 	for i, p := range spec.Partitions {
 		names[i] = p.Name
 	}
-	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
+	type outcome struct {
+		gantt    string
+		switches int64
+	}
+	kinds := []policies.Kind{policies.NoRandom, policies.TimeDiceW}
+	outs, err := runner.Map(sc.Parallel, kinds, func(_ int, kind policies.Kind) (outcome, error) {
 		built, err := spec.Build()
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		pol, err := policies.Build(kind, built.Partitions, policies.Options{})
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		sys, err := engine.New(built.Partitions, pol, rng.New(sc.Seed))
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		rec := trace.NewRecorder(0, vtime.Time(vtime.MS(100)))
 		sys.TraceFn = rec.Hook()
 		sys.Run(vtime.Time(vtime.MS(100)))
-		g := rec.Gantt(names, vtime.Millisecond)
-		if kind == policies.NoRandom {
-			res.NoRandomGantt = g
-			res.NoRandomSwitches = sys.Counters.Switches
-		} else {
-			res.TimeDiceGantt = g
-			res.TimeDiceSwitches = sys.Counters.Switches
-		}
+		return outcome{gantt: rec.Gantt(names, vtime.Millisecond), switches: sys.Counters.Switches}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.NoRandomGantt, res.NoRandomSwitches = outs[0].gantt, outs[0].switches
+	res.TimeDiceGantt, res.TimeDiceSwitches = outs[1].gantt, outs[1].switches
 	fprintf(w, "Fig 6(a): NoRandom schedule trace (switches=%d)\n%s\n", res.NoRandomSwitches, res.NoRandomGantt)
 	fprintf(w, "Fig 6(b): TimeDice schedule trace (switches=%d)\n%s", res.TimeDiceSwitches, res.TimeDiceGantt)
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"timedice/internal/covert"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 	"timedice/internal/trace"
 )
@@ -41,13 +42,16 @@ func (r *Fig12Result) Cell(k policies.Kind, l Load) (Fig12Cell, bool) {
 
 // Fig12 measures the impact of TimeDice on covert-channel accuracy:
 // NoRandom vs TimeDiceU vs TimeDiceW, base and light load, response-time and
-// execution-vector receivers, as a function of profiling effort.
+// execution-vector receivers, as a function of profiling effort. The grid's
+// cells are independent trials and fan out across sc.Parallel workers.
 func Fig12(sc Scale, w io.Writer) (*Fig12Result, error) {
 	sc = sc.withDefaults()
-	res := &Fig12Result{}
-	fprintf(w, "Fig 12: covert-channel accuracy under schedule randomization\n")
-	fprintf(w, "%-10s %-11s %8s %9s %9s %9s %7s\n",
-		"policy", "load", "profile", "RT acc", "vec acc", "capacity", "sep")
+	type trial struct {
+		load    Load
+		policy  policies.Kind
+		profile int
+	}
+	var trials []trial
 	for _, load := range []Load{BaseLoad, LightLoad} {
 		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
 			for _, frac := range []int{4, 1} {
@@ -55,26 +59,38 @@ func Fig12(sc Scale, w io.Writer) (*Fig12Result, error) {
 				if p < 16 {
 					p = 16
 				}
-				cfg := channelConfig(load, kind, sc)
-				cfg.ProfileWindows = p
-				run, err := covert.Run(cfg, defaultLearner())
-				if err != nil {
-					return nil, err
-				}
-				cell := Fig12Cell{
-					Policy:         kind,
-					Load:           load,
-					ProfileWindows: p,
-					RTAccuracy:     run.RTAccuracy,
-					VectorAccuracy: run.VecAccuracy[defaultLearner().Name()],
-					Capacity:       run.Capacity,
-					Separation:     covert.Separation(run.Hist0, run.Hist1),
-				}
-				res.Cells = append(res.Cells, cell)
-				fprintf(w, "%-10s %-11s %8d %8.2f%% %8.2f%% %9.3f %7.3f\n",
-					kind, load, p, 100*cell.RTAccuracy, 100*cell.VectorAccuracy, cell.Capacity, cell.Separation)
+				trials = append(trials, trial{load: load, policy: kind, profile: p})
 			}
 		}
+	}
+	cells, err := runner.Map(sc.Parallel, trials, func(_ int, tr trial) (Fig12Cell, error) {
+		cfg := channelConfig(tr.load, tr.policy, sc)
+		cfg.ProfileWindows = tr.profile
+		run, err := covert.Run(cfg, defaultLearner())
+		if err != nil {
+			return Fig12Cell{}, err
+		}
+		return Fig12Cell{
+			Policy:         tr.policy,
+			Load:           tr.load,
+			ProfileWindows: tr.profile,
+			RTAccuracy:     run.RTAccuracy,
+			VectorAccuracy: run.VecAccuracy[defaultLearner().Name()],
+			Capacity:       run.Capacity,
+			Separation:     covert.Separation(run.Hist0, run.Hist1),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{Cells: cells}
+	fprintf(w, "Fig 12: covert-channel accuracy under schedule randomization\n")
+	fprintf(w, "%-10s %-11s %8s %9s %9s %9s %7s\n",
+		"policy", "load", "profile", "RT acc", "vec acc", "capacity", "sep")
+	for _, cell := range res.Cells {
+		fprintf(w, "%-10s %-11s %8d %8.2f%% %8.2f%% %9.3f %7.3f\n",
+			cell.Policy, cell.Load, cell.ProfileWindows,
+			100*cell.RTAccuracy, 100*cell.VectorAccuracy, cell.Capacity, cell.Separation)
 	}
 	return res, nil
 }
@@ -89,15 +105,20 @@ type Fig13Result struct {
 	Heatmap string
 }
 
-// Fig13 regenerates the Fig. 13 heatmaps (quantified by density distance).
+// Fig13 regenerates the Fig. 13 heatmaps (quantified by density distance),
+// running the three policies' trials concurrently.
 func Fig13(sc Scale, w io.Writer) (*Fig13Result, error) {
 	sc = sc.withDefaults()
-	res := &Fig13Result{}
-	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
+	type outcome struct {
+		distance float64
+		heatmap  string
+	}
+	kinds := []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW}
+	outs, err := runner.Map(sc.Parallel, kinds, func(_ int, kind policies.Kind) (outcome, error) {
 		cfg := channelConfig(BaseLoad, kind, sc)
 		run, err := covert.Run(cfg)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		var vectors [][]float64
 		var labels []int
@@ -106,16 +127,20 @@ func Fig13(sc Scale, w io.Writer) (*Fig13Result, error) {
 			labels = append(labels, ob.Label)
 		}
 		d0, d1 := trace.HeatmapDensity(vectors, labels)
-		dist := trace.DensityDistance(d0, d1)
-		switch kind {
-		case policies.NoRandom:
-			res.NoRandomDistance = dist
-		case policies.TimeDiceU:
-			res.TimeDiceUDistance = dist
-		case policies.TimeDiceW:
-			res.TimeDiceWDistance = dist
-			res.Heatmap = trace.Heatmap(vectors, labels, 24)
+		out := outcome{distance: trace.DensityDistance(d0, d1)}
+		if kind == policies.TimeDiceW {
+			out.heatmap = trace.Heatmap(vectors, labels, 24)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig13Result{
+		NoRandomDistance:  outs[0].distance,
+		TimeDiceUDistance: outs[1].distance,
+		TimeDiceWDistance: outs[2].distance,
+		Heatmap:           outs[2].heatmap,
 	}
 	fprintf(w, "Fig 13: execution-vector distinguishability (column-density distance)\n")
 	fprintf(w, "NoRandom : %.4f\nTimeDiceU: %.4f\nTimeDiceW: %.4f\n",

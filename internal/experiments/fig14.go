@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"timedice/internal/covert"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 	"timedice/internal/stats"
 )
@@ -36,16 +37,15 @@ func (r *Fig14Result) Row(k policies.Kind) (Fig14Row, bool) {
 }
 
 // Fig14 reproduces the light-load response-time distributions under
-// NoRandom, TimeDiceU and TimeDiceW.
+// NoRandom, TimeDiceU and TimeDiceW, one concurrent trial per policy.
 func Fig14(sc Scale, w io.Writer) (*Fig14Result, error) {
 	sc = sc.withDefaults()
-	res := &Fig14Result{}
-	fprintf(w, "Fig 14: Pr(R|X) in the light-load configuration\n")
-	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
+	kinds := []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW}
+	rows, err := runner.Map(sc.Parallel, kinds, func(_ int, kind policies.Kind) (Fig14Row, error) {
 		cfg := channelConfig(LightLoad, kind, sc)
 		run, err := covert.Run(cfg)
 		if err != nil {
-			return nil, err
+			return Fig14Row{}, err
 		}
 		row := Fig14Row{
 			Policy:     kind,
@@ -58,8 +58,15 @@ func Fig14(sc Scale, w io.Writer) (*Fig14Result, error) {
 				row.Spread++
 			}
 		}
-		res.Rows = append(res.Rows, row)
-		fprintf(w, "\n%s: separation=%.3f, support=%d bins\n", kind, row.Separation, row.Spread)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{Rows: rows}
+	fprintf(w, "Fig 14: Pr(R|X) in the light-load configuration\n")
+	for _, row := range res.Rows {
+		fprintf(w, "\n%s: separation=%.3f, support=%d bins\n", row.Policy, row.Separation, row.Spread)
 		fprintf(w, "Pr(R|X=0):\n%s", row.Hist0.Render(30))
 		fprintf(w, "Pr(R|X=1):\n%s", row.Hist1.Render(30))
 	}
@@ -89,23 +96,36 @@ func (r *Fig15Result) Bar(k policies.Kind, l Load) (float64, bool) {
 }
 
 // Fig15 measures channel capacity (Eq. 6) for every policy × load, including
-// the TDMA reference whose capacity is structurally zero.
+// the TDMA reference whose capacity is structurally zero. The eight cells
+// fan out across sc.Parallel workers.
 func Fig15(sc Scale, w io.Writer) (*Fig15Result, error) {
 	sc = sc.withDefaults()
-	res := &Fig15Result{}
-	fprintf(w, "Fig 15: channel capacity in bits per monitoring window\n")
-	fprintf(w, "%-10s %-11s %9s\n", "policy", "load", "capacity")
+	type trial struct {
+		load   Load
+		policy policies.Kind
+	}
+	var trials []trial
 	for _, load := range []Load{BaseLoad, LightLoad} {
 		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW, policies.TDMA} {
-			cfg := channelConfig(load, kind, sc)
-			run, err := covert.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			bar := Fig15Bar{Policy: kind, Load: load, Capacity: run.Capacity}
-			res.Bars = append(res.Bars, bar)
-			fprintf(w, "%-10s %-11s %9.3f\n", kind, load, bar.Capacity)
+			trials = append(trials, trial{load: load, policy: kind})
 		}
+	}
+	bars, err := runner.Map(sc.Parallel, trials, func(_ int, tr trial) (Fig15Bar, error) {
+		cfg := channelConfig(tr.load, tr.policy, sc)
+		run, err := covert.Run(cfg)
+		if err != nil {
+			return Fig15Bar{}, err
+		}
+		return Fig15Bar{Policy: tr.policy, Load: tr.load, Capacity: run.Capacity}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig15Result{Bars: bars}
+	fprintf(w, "Fig 15: channel capacity in bits per monitoring window\n")
+	fprintf(w, "%-10s %-11s %9s\n", "policy", "load", "capacity")
+	for _, bar := range res.Bars {
+		fprintf(w, "%-10s %-11s %9.3f\n", bar.Policy, bar.Load, bar.Capacity)
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"timedice/internal/blinder"
 	"timedice/internal/covert"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 )
 
@@ -47,20 +48,32 @@ func Fig18(sc Scale, w io.Writer) (*Fig18Result, error) {
 		{blinder.OrderChannelConfig{Windows: windows, Seed: sc.Seed, Blinder: true}, &res.OrderBlinder, &res.ResponseBlinder},
 		{blinder.OrderChannelConfig{Windows: windows, Seed: sc.Seed, Policy: policies.TimeDiceW}, &res.OrderTimeDice, &res.ResponseTimeDice},
 	}
-	for _, r := range runs {
-		out, err := blinder.RunOrderChannel(r.cfg)
-		if err != nil {
-			return nil, err
-		}
-		*r.order = out.OrderAccuracy
-		*r.resp = out.ResponseAccuracy
+	// The three order-channel runs and the paper-channel run below are
+	// independent simulations; fan them out together.
+	var run *covert.Result
+	trials := []func() error{
+		func() error {
+			// The paper's response-time channel with the receiver's local
+			// schedule BLINDER-transformed: accuracy should match the
+			// undefended baseline.
+			base := channelConfig(BaseLoad, policies.NoRandom, sc)
+			r, err := covert.Run(base)
+			run = r
+			return err
+		},
 	}
-
-	// The paper's response-time channel with the receiver's local schedule
-	// BLINDER-transformed: accuracy should match the undefended baseline.
-	base := channelConfig(BaseLoad, policies.NoRandom, sc)
-	run, err := covert.Run(base)
-	if err != nil {
+	for _, r := range runs {
+		trials = append(trials, func() error {
+			out, err := blinder.RunOrderChannel(r.cfg)
+			if err != nil {
+				return err
+			}
+			*r.order = out.OrderAccuracy
+			*r.resp = out.ResponseAccuracy
+			return nil
+		})
+	}
+	if err := runner.Do(sc.Parallel, trials...); err != nil {
 		return nil, err
 	}
 	res.PaperChannelNoDefense = run.RTAccuracy

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"timedice/internal/engine"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/model"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
@@ -181,16 +182,17 @@ func thresholdDecode(resp map[int64]vtime.Duration, bits []int, windows int) flo
 // MultiPairReport runs the comparison under NoRandom and TimeDiceW.
 func MultiPairReport(sc Scale, w io.Writer) ([]*MultiPairResult, error) {
 	sc = sc.withDefaults()
-	var out []*MultiPairResult
+	kinds := []policies.Kind{policies.NoRandom, policies.TimeDiceW}
+	out, err := runner.Map(sc.Parallel, kinds, func(_ int, kind policies.Kind) (*MultiPairResult, error) {
+		return MultiPair(kind, sc.TestWindows, sc.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
 	fprintf(w, "Two concurrent covert pairs on the 10-partition system\n")
 	fprintf(w, "%-10s %12s %12s\n", "policy", "pair1 acc", "pair2 acc")
-	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
-		res, err := MultiPair(kind, sc.TestWindows, sc.Seed)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
-		fprintf(w, "%-10s %11.2f%% %11.2f%%\n", kind, 100*res.Accuracy1, 100*res.Accuracy2)
+	for _, res := range out {
+		fprintf(w, "%-10s %11.2f%% %11.2f%%\n", res.Policy, 100*res.Accuracy1, 100*res.Accuracy2)
 	}
 	return out, nil
 }

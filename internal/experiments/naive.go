@@ -5,6 +5,7 @@ import (
 
 	"timedice/internal/core"
 	"timedice/internal/engine"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/model"
 	"timedice/internal/rng"
 	"timedice/internal/sched"
@@ -48,7 +49,6 @@ func Naive(sc Scale, w io.Writer) (*NaiveComparison, error) {
 	spec := greedySpec(BaseLoad.Spec())
 	dur := vtime.Duration(sc.SimSeconds) * vtime.Second
 
-	res := &NaiveComparison{}
 	type entry struct {
 		name string
 		mk   func() engine.GlobalPolicy
@@ -60,14 +60,16 @@ func Naive(sc Scale, w io.Writer) (*NaiveComparison, error) {
 		}},
 		{"NaiveRandom", func() engine.GlobalPolicy { return &sched.NaiveRandom{} }},
 	}
+	rows, err := runner.Map(sc.Parallel, entries, func(_ int, e entry) (ShortfallRow, error) {
+		return shortfallRun(spec, e.mk(), dur, sc.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &NaiveComparison{Rows: rows}
 	fprintf(w, "Budget preservation: per-period shortfalls on the saturated Table I system\n")
 	fprintf(w, "%-12s %10s %10s %14s %14s\n", "policy", "periods", "short", "total short", "worst short")
-	for _, e := range entries {
-		row, err := shortfallRun(spec, e.mk(), dur, sc.Seed)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	for _, row := range res.Rows {
 		fprintf(w, "%-12s %10d %10d %14v %14v\n",
 			row.Policy, row.PeriodsChecked, row.PeriodsShort, row.TotalShortfall, row.WorstShortfall)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"timedice/internal/core"
 	"timedice/internal/engine"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/model"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
@@ -61,18 +62,29 @@ func (r *OverheadResult) Row(n int, kind policies.Kind) (OverheadRow, bool) {
 // TimeDice, reproducing Tables IV and V and Fig. 17.
 func Overhead(sc Scale, w io.Writer) (*OverheadResult, error) {
 	sc = sc.withDefaults()
-	res := &OverheadResult{}
 	dur := vtime.Duration(sc.SimSeconds) * vtime.Second
+	type trial struct {
+		mult int
+		kind policies.Kind
+	}
+	var trials []trial
 	for _, mult := range []int{1, 2, 4} {
-		spec := workload.Scale(workload.TableIBase(), mult)
 		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
-			row, err := overheadRun(spec, kind, dur, sc.Seed)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, row)
+			trials = append(trials, trial{mult: mult, kind: kind})
 		}
 	}
+	// Note: the latency percentiles are wall-clock measurements of this Go
+	// implementation, so running trials concurrently adds scheduling noise to
+	// Table IV. The rates (Table V) and the simulated schedule itself are
+	// deterministic regardless.
+	rows, err := runner.Map(sc.Parallel, trials, func(_ int, tr trial) (OverheadRow, error) {
+		spec := workload.Scale(workload.TableIBase(), tr.mult)
+		return overheadRun(spec, tr.kind, dur, sc.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &OverheadResult{Rows: rows}
 
 	fprintf(w, "Table IV: end-to-end latency of one scheduling decision (us, this Go implementation)\n")
 	fprintf(w, "%-6s %-10s %8s %8s %8s %8s %8s\n", "|Pi|", "policy", "25%", "50%", "75%", "99%", "100%")

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// The parallel runner's contract is that fanning trials across workers
+// changes wall-clock time only: every trial seeds its own deterministic
+// simulation, results are collected in input order, and rendering happens
+// after the fan-in. These tests pin the contract end to end — structured
+// results AND rendered bytes must be identical at any worker count.
+
+func TestFig12ParallelMatchesSequential(t *testing.T) {
+	seq, par := Quick(), Quick()
+	seq.Parallel = 1
+	par.Parallel = 4
+
+	var seqOut, parOut bytes.Buffer
+	seqRes, err := Fig12(seq, &seqOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := Fig12(par, &parOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Error("Fig12 structured results differ between sequential and parallel runs")
+	}
+	if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+		t.Errorf("Fig12 rendered output differs:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seqOut.String(), parOut.String())
+	}
+}
+
+func TestUtilizationSweepParallelMatchesSequential(t *testing.T) {
+	seq, par := Quick(), Quick()
+	seq.Parallel = 1
+	par.Parallel = 4
+
+	var seqOut, parOut bytes.Buffer
+	seqRes, err := UtilizationSweep(seq, &seqOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, err := UtilizationSweep(par, &parOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Error("UtilizationSweep structured results differ between sequential and parallel runs")
+	}
+	if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+		t.Errorf("UtilizationSweep rendered output differs:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seqOut.String(), parOut.String())
+	}
+}

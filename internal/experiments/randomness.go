@@ -5,6 +5,7 @@ import (
 
 	"timedice/internal/engine"
 	"timedice/internal/entropy"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/model"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
@@ -41,27 +42,41 @@ func (r *RandomnessResult) Row(kind policies.Kind, load Load) (RandomnessRow, bo
 
 // Randomness measures how much uncertainty each policy injects into the
 // schedule of the (greedy) Table I system: the quantitative counterpart of
-// Fig. 6's visual comparison and of Theorem 1's argument.
+// Fig. 6's visual comparison and of Theorem 1's argument. The load × policy
+// grid fans out across sc.Parallel workers.
 func Randomness(sc Scale, w io.Writer) (*RandomnessResult, error) {
 	sc = sc.withDefaults()
-	res := &RandomnessResult{}
 	dur := vtime.Duration(sc.SimSeconds) * vtime.Second
+	type trial struct {
+		load Load
+		kind policies.Kind
+	}
+	var trials []trial
+	for _, load := range []Load{BaseLoad, LightLoad} {
+		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
+			trials = append(trials, trial{load: load, kind: kind})
+		}
+	}
+	rows, err := runner.Map(sc.Parallel, trials, func(_ int, tr trial) (RandomnessRow, error) {
+		spec := greedySpec(tr.load.Spec())
+		hyper := entropy.Hyperperiod(spec, vtime.Second)
+		row, err := randomnessRun(spec, tr.kind, hyper, dur, sc.Seed)
+		if err != nil {
+			return RandomnessRow{}, err
+		}
+		row.Load = tr.load
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &RandomnessResult{Rows: rows}
 	fprintf(w, "Schedule randomness (greedy Table I): slot entropy and Π4 budget-exhaustion spread\n")
 	fprintf(w, "%-10s %-11s %12s %10s %12s %12s\n",
 		"policy", "load", "slotEntropy", "bound", "exhaust std", "exhaust mean")
-	for _, load := range []Load{BaseLoad, LightLoad} {
-		spec := greedySpec(load.Spec())
-		hyper := entropy.Hyperperiod(spec, vtime.Second)
-		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
-			row, err := randomnessRun(spec, kind, hyper, dur, sc.Seed)
-			if err != nil {
-				return nil, err
-			}
-			row.Load = load
-			res.Rows = append(res.Rows, row)
-			fprintf(w, "%-10s %-11s %12.3f %10.3f %10.2fms %10.2fms\n",
-				row.Policy, row.Load, row.SlotEntropy, row.EntropyBound, row.ExhaustionStdMS, row.ExhaustionMeanMS)
-		}
+	for _, row := range res.Rows {
+		fprintf(w, "%-10s %-11s %12.3f %10.3f %10.2fms %10.2fms\n",
+			row.Policy, row.Load, row.SlotEntropy, row.EntropyBound, row.ExhaustionStdMS, row.ExhaustionMeanMS)
 	}
 	return res, nil
 }

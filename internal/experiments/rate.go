@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"timedice/internal/covert"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 	"timedice/internal/vtime"
 )
@@ -43,41 +44,53 @@ func (r *RateResult) Point(k policies.Kind, w vtime.Duration) (RatePoint, bool) 
 // capacity/window is the achievable covert bit rate.
 func Rate(sc Scale, w io.Writer) (*RateResult, error) {
 	sc = sc.withDefaults()
-	res := &RateResult{}
 	spec := BaseLoad.Spec()
 	tR := spec.Partitions[3].Period
+	type trial struct {
+		k    int64
+		kind policies.Kind
+	}
+	var trials []trial
+	for _, k := range []int64{2, 3, 6, 12} {
+		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
+			trials = append(trials, trial{k: k, kind: kind})
+		}
+	}
+	points, err := runner.Map(sc.Parallel, trials, func(_ int, tr trial) (RatePoint, error) {
+		window := vtime.Duration(tr.k) * tR
+		cfg := channelConfig(BaseLoad, tr.kind, sc)
+		cfg.Window = window
+		// The sender executes once per receiver replenishment so that a
+		// burst always lands at the start of the receiver's final budget
+		// period, whatever the window length (cf. Fig. 3's "how many
+		// times it needs to execute during a monitoring window").
+		cfg.SenderPeriod = tR
+		// Keep the experiment length comparable across window sizes.
+		cfg.TestWindows = sc.TestWindows * 3 / int(tr.k)
+		if cfg.TestWindows < 50 {
+			cfg.TestWindows = 50
+		}
+		run, err := covert.Run(cfg)
+		if err != nil {
+			return RatePoint{}, err
+		}
+		return RatePoint{
+			Policy:   tr.kind,
+			Window:   window,
+			Accuracy: run.RTAccuracy,
+			Capacity: run.Capacity,
+			BitsPerS: run.Capacity / window.Seconds(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &RateResult{Points: points}
 	fprintf(w, "Signaling-rate sweep (receiver Π4, T_R = %v)\n", tR)
 	fprintf(w, "%-10s %-10s %9s %10s %10s\n", "policy", "window", "accuracy", "b/window", "bits/s")
-	for _, k := range []int64{2, 3, 6, 12} {
-		window := vtime.Duration(k) * tR
-		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
-			cfg := channelConfig(BaseLoad, kind, sc)
-			cfg.Window = window
-			// The sender executes once per receiver replenishment so that a
-			// burst always lands at the start of the receiver's final budget
-			// period, whatever the window length (cf. Fig. 3's "how many
-			// times it needs to execute during a monitoring window").
-			cfg.SenderPeriod = tR
-			// Keep the experiment length comparable across window sizes.
-			cfg.TestWindows = sc.TestWindows * 3 / int(k)
-			if cfg.TestWindows < 50 {
-				cfg.TestWindows = 50
-			}
-			run, err := covert.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			pt := RatePoint{
-				Policy:   kind,
-				Window:   window,
-				Accuracy: run.RTAccuracy,
-				Capacity: run.Capacity,
-				BitsPerS: run.Capacity / window.Seconds(),
-			}
-			res.Points = append(res.Points, pt)
-			fprintf(w, "%-10s %-10v %8.2f%% %10.3f %10.2f\n",
-				kind, window, 100*pt.Accuracy, pt.Capacity, pt.BitsPerS)
-		}
+	for _, pt := range res.Points {
+		fprintf(w, "%-10s %-10v %8.2f%% %10.3f %10.2f\n",
+			pt.Policy, pt.Window, 100*pt.Accuracy, pt.Capacity, pt.BitsPerS)
 	}
 	return res, nil
 }

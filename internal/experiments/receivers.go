@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"timedice/internal/covert"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/ml"
 	"timedice/internal/policies"
 )
@@ -37,6 +38,14 @@ func (r *ReceiverZooResult) Row(name string) (ReceiverRow, bool) {
 func ReceiverZoo(sc Scale, w io.Writer) (*ReceiverZooResult, error) {
 	sc = sc.withDefaults()
 	trainers := []ml.Trainer{ml.SVM{}, ml.NaiveBayes{}, ml.Forest{}, ml.LogReg{}, ml.KNN{}}
+	kinds := []policies.Kind{policies.NoRandom, policies.TimeDiceW}
+	runs, err := runner.Map(sc.Parallel, kinds, func(_ int, kind policies.Kind) (*covert.Result, error) {
+		cfg := channelConfig(BaseLoad, kind, sc)
+		return covert.Run(cfg, trainers...)
+	})
+	if err != nil {
+		return nil, err
+	}
 	acc := map[string]*ReceiverRow{}
 	get := func(name string) *ReceiverRow {
 		if r, ok := acc[name]; ok {
@@ -46,12 +55,8 @@ func ReceiverZoo(sc Scale, w io.Writer) (*ReceiverZooResult, error) {
 		acc[name] = r
 		return r
 	}
-	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
-		cfg := channelConfig(BaseLoad, kind, sc)
-		run, err := covert.Run(cfg, trainers...)
-		if err != nil {
-			return nil, err
-		}
+	for i, kind := range kinds {
+		run := runs[i]
 		assign := func(name string, v float64) {
 			r := get(name)
 			if kind == policies.NoRandom {

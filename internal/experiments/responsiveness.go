@@ -5,6 +5,7 @@ import (
 
 	"timedice/internal/analysis"
 	"timedice/internal/engine"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/model"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
@@ -125,14 +126,15 @@ func Fig16(sc Scale, w io.Writer) (*Fig16Result, error) {
 	sc = sc.withDefaults()
 	spec := BaseLoad.Spec()
 	dur := vtime.Duration(sc.SimSeconds) * vtime.Second
-	nr, err := RunResponsiveness(spec, policies.NoRandom, dur, sc.Seed, ResponsivenessOptions{Jitter: 0.2, KeepSamples: 100000})
+	opts := ResponsivenessOptions{Jitter: 0.2, KeepSamples: 100000}
+	runs, err := runner.Map(sc.Parallel, []policies.Kind{policies.NoRandom, policies.TimeDiceW},
+		func(_ int, kind policies.Kind) (*ResponsivenessResult, error) {
+			return RunResponsiveness(spec, kind, dur, sc.Seed, opts)
+		})
 	if err != nil {
 		return nil, err
 	}
-	td, err := RunResponsiveness(spec, policies.TimeDiceW, dur, sc.Seed, ResponsivenessOptions{Jitter: 0.2, KeepSamples: 100000})
-	if err != nil {
-		return nil, err
-	}
+	nr, td := runs[0], runs[1]
 	res := &Fig16Result{NoRandom: nr, TimeDice: td}
 	fprintf(w, "Fig 16: task response times (ms), NoRandom (NR) vs TimeDice (TD)\n")
 	fprintf(w, "%-10s %-28s %-28s\n", "task", "NR min/med/max (mean)", "TD min/med/max (mean)")
@@ -175,14 +177,14 @@ func Table02(sc Scale, w io.Writer) (*Table02Result, error) {
 	// periodic schedule never visits the critical instants and the empirical
 	// maxima stay far below the bounds.
 	opts := ResponsivenessOptions{Jitter: 0.2}
-	nr, err := RunResponsiveness(spec, policies.NoRandom, dur, sc.Seed, opts)
+	runs, err := runner.Map(sc.Parallel, []policies.Kind{policies.NoRandom, policies.TimeDiceW},
+		func(_ int, kind policies.Kind) (*ResponsivenessResult, error) {
+			return RunResponsiveness(spec, kind, dur, sc.Seed, opts)
+		})
 	if err != nil {
 		return nil, err
 	}
-	td, err := RunResponsiveness(spec, policies.TimeDiceW, dur, sc.Seed, opts)
-	if err != nil {
-		return nil, err
-	}
+	nr, td := runs[0], runs[1]
 	res := &Table02Result{}
 	fprintf(w, "Table II: analytic vs empirical WCRT (ms)\n")
 	fprintf(w, "%-8s %9s | %9s %9s | %9s %9s | %8s %8s\n",

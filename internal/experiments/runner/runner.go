@@ -1,0 +1,103 @@
+// Package runner fans independent experiment trials across a bounded pool of
+// worker goroutines. Every trial in this repository is a self-contained
+// deterministic simulation keyed by its own configuration and seed (the
+// engine's determinism contract: same config + seed ⇒ identical schedule), so
+// trials may execute in any order on any number of workers and still produce
+// the exact results of a sequential run — the pool only changes wall-clock
+// time, never output. The experiments harnesses rely on this: they build a
+// flat trial list, Map it, and render the results in input order.
+//
+// Error handling is first-error-wins with cancellation: once any trial fails,
+// no new trials are started, in-flight trials finish, and the error reported
+// is the one with the smallest input index among those observed — the same
+// error a sequential run would surface whenever the failing trial is the
+// first to fail deterministically.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism setting to an effective worker count:
+// n >= 1 means exactly n workers (1 = sequential), and n <= 0 means one
+// worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i, items[i]) for every item and returns the results in input
+// order. workers follows the Workers convention (<= 0 ⇒ GOMAXPROCS); with one
+// worker the items run sequentially on the calling goroutine with no
+// goroutine or channel overhead. fn must be safe to call concurrently with
+// itself for distinct indices.
+func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	w := Workers(workers)
+	if w > len(items) {
+		w = len(items)
+	}
+	if w <= 1 {
+		for i, item := range items {
+			r, err := fn(i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64 // next unclaimed input index
+		failed atomic.Bool  // set once any trial errors: stop claiming work
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = -1
+	)
+	for range w {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || failed.Load() {
+					return
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Do runs heterogeneous thunks under the same pool semantics as Map. It is
+// the shape for harnesses whose trials differ in type: each thunk writes its
+// own result into variables it captures; Do's return establishes the
+// happens-before edge that makes those writes visible to the caller.
+func Do(workers int, fns ...func() error) error {
+	_, err := Map(workers, fns, func(_ int, fn func() error) (struct{}, error) {
+		return struct{}{}, fn()
+	})
+	return err
+}

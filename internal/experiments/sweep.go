@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"timedice/internal/covert"
+	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 	"timedice/internal/workload"
 )
@@ -30,35 +31,47 @@ type UtilizationSweepResult struct {
 }
 
 // UtilizationSweep runs the feasibility channel at α ∈ {6, 10, 16, 19}% under
-// NoRandom and TimeDiceW.
+// NoRandom and TimeDiceW; the eight (α, policy) trials fan out across
+// sc.Parallel workers.
 func UtilizationSweep(sc Scale, w io.Writer) (*UtilizationSweepResult, error) {
 	sc = sc.withDefaults()
+	alphas := []float64{0.06, 0.10, 0.16, 0.19}
+	kinds := []policies.Kind{policies.NoRandom, policies.TimeDiceW}
+	type trial struct {
+		alpha float64
+		kind  policies.Kind
+	}
+	var trials []trial
+	for _, alpha := range alphas {
+		for _, kind := range kinds {
+			trials = append(trials, trial{alpha: alpha, kind: kind})
+		}
+	}
+	results, err := runner.Map(sc.Parallel, trials, func(_ int, tr trial) (*covert.Result, error) {
+		spec := workload.TableI(tr.alpha, workload.DefaultBeta*tr.alpha/workload.DefaultAlpha)
+		return covert.Run(covert.Config{
+			Spec:           spec,
+			Sender:         1,
+			Receiver:       3,
+			ProfileWindows: sc.ProfileWindows,
+			TestWindows:    sc.TestWindows,
+			Policy:         tr.kind,
+			Seed:           sc.Seed,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &UtilizationSweepResult{}
 	fprintf(w, "Utilization sweep (Table I at budget fraction α; total utilization 5α)\n")
 	fprintf(w, "%-7s %6s %10s %10s %10s %10s\n", "alpha", "util", "NR acc", "TDW acc", "NR cap", "TDW cap")
-	for _, alpha := range []float64{0.06, 0.10, 0.16, 0.19} {
+	for i, alpha := range alphas {
 		spec := workload.TableI(alpha, workload.DefaultBeta*alpha/workload.DefaultAlpha)
 		pt := UtilizationPoint{Alpha: alpha, Utilization: spec.Utilization()}
-		for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
-			cfg := covert.Config{
-				Spec:           spec,
-				Sender:         1,
-				Receiver:       3,
-				ProfileWindows: sc.ProfileWindows,
-				TestWindows:    sc.TestWindows,
-				Policy:         kind,
-				Seed:           sc.Seed,
-			}
-			run, err := covert.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			if kind == policies.NoRandom {
-				pt.NoRandomAccuracy, pt.NoRandomCapacity = run.RTAccuracy, run.Capacity
-			} else {
-				pt.TimeDiceWAccuracy, pt.TimeDiceWCapacity = run.RTAccuracy, run.Capacity
-			}
-		}
+		nr, tdw := results[2*i], results[2*i+1]
+		pt.NoRandomAccuracy, pt.NoRandomCapacity = nr.RTAccuracy, nr.Capacity
+		pt.TimeDiceWAccuracy, pt.TimeDiceWCapacity = tdw.RTAccuracy, tdw.Capacity
 		res.Points = append(res.Points, pt)
 		fprintf(w, "%-7.2f %5.0f%% %9.2f%% %9.2f%% %10.3f %10.3f\n",
 			alpha, 100*pt.Utilization, 100*pt.NoRandomAccuracy, 100*pt.TimeDiceWAccuracy,

@@ -85,7 +85,39 @@ type state struct {
 	started     bool
 	nextArrival vtime.Time
 	nextIndex   int64
-	pending     []*Job // FIFO backlog of this task's jobs (front = oldest)
+	// pending[head:] is the FIFO backlog of this task's jobs (front =
+	// oldest). The head index makes popping the front O(1) without giving up
+	// the slice's capacity; push compacts when the tail hits capacity, so the
+	// steady state allocates nothing.
+	pending []*Job
+	head    int
+}
+
+// queue returns the live backlog, front first.
+func (st *state) queue() []*Job { return st.pending[st.head:] }
+
+func (st *state) push(j *Job) {
+	if st.head > 0 && len(st.pending) == cap(st.pending) {
+		n := copy(st.pending, st.pending[st.head:])
+		for i := n; i < len(st.pending); i++ {
+			st.pending[i] = nil
+		}
+		st.pending = st.pending[:n]
+		st.head = 0
+	}
+	st.pending = append(st.pending, j)
+}
+
+// popFront removes and returns the oldest pending job.
+func (st *state) popFront() *Job {
+	j := st.pending[st.head]
+	st.pending[st.head] = nil
+	st.head++
+	if st.head == len(st.pending) {
+		st.pending = st.pending[:0]
+		st.head = 0
+	}
+	return j
 }
 
 // arrivalAnchor lazily initializes the first arrival from the task's Offset.
@@ -142,6 +174,13 @@ type Scheduler struct {
 	// experiments demonstrate). The choice is re-drawn at every dispatch.
 	Shuffle   func(n int) int
 	completed int64
+	// free recycles completed Job records so the steady-state release path
+	// allocates nothing. A recycled pointer is handed out again by a later
+	// release: observers must not retain a *Job past their callback (the
+	// Completion callbacks receive a value copy and are unaffected).
+	free []*Job
+	// shuffleBuf is the reusable candidate buffer for the Shuffle path.
+	shuffleBuf []*state
 }
 
 // NewScheduler builds a local scheduler. Task priority is the slice order
@@ -185,14 +224,21 @@ func (s *Scheduler) ReleaseUpTo(now vtime.Time) {
 					demand = st.task.WCET
 				}
 			}
-			j := &Job{
+			var j *Job
+			if n := len(s.free); n > 0 {
+				j = s.free[n-1]
+				s.free = s.free[:n-1]
+			} else {
+				j = new(Job)
+			}
+			*j = Job{
 				Task:      st.task,
 				Index:     st.nextIndex,
 				Arrival:   arrival,
 				Demand:    demand,
 				Remaining: demand,
 			}
-			st.pending = append(st.pending, j)
+			st.push(j)
 			if s.Observer != nil {
 				s.Observer.JobReleased(j)
 			}
@@ -227,20 +273,21 @@ func (s *Scheduler) NextArrival() vtime.Time {
 func (s *Scheduler) Current() *Job {
 	if s.Shuffle != nil {
 		// Collect backlogged tasks and pick one at random.
-		var backlogged []*state
+		backlogged := s.shuffleBuf[:0]
 		for _, st := range s.states {
-			if len(st.pending) > 0 {
+			if len(st.queue()) > 0 {
 				backlogged = append(backlogged, st)
 			}
 		}
+		s.shuffleBuf = backlogged
 		if len(backlogged) == 0 {
 			return nil
 		}
-		return backlogged[s.Shuffle(len(backlogged))].pending[0]
+		return backlogged[s.Shuffle(len(backlogged))].queue()[0]
 	}
 	for _, st := range s.states {
-		if len(st.pending) > 0 {
-			return st.pending[0]
+		if q := st.queue(); len(q) > 0 {
+			return q[0]
 		}
 	}
 	return nil
@@ -254,7 +301,7 @@ func (s *Scheduler) HasReady() bool { return s.Current() != nil }
 func (s *Scheduler) Backlog() vtime.Duration {
 	var sum vtime.Duration
 	for _, st := range s.states {
-		for _, j := range st.pending {
+		for _, j := range st.queue() {
 			sum += j.Remaining
 		}
 	}
@@ -317,7 +364,7 @@ func (s *Scheduler) ShortestRemaining() vtime.Duration {
 func (s *Scheduler) finish(job *Job, at vtime.Time) {
 	st := s.states[s.indexOf(job.Task)]
 	// The finished job is necessarily the front of its task's backlog.
-	st.pending = st.pending[1:]
+	st.popFront()
 	s.completed++
 	if s.lastJob == job {
 		s.lastJob = nil
@@ -335,6 +382,7 @@ func (s *Scheduler) finish(job *Job, at vtime.Time) {
 			s.Observer.JobCompleted(c)
 		}
 	}
+	s.free = append(s.free, job)
 }
 
 func (s *Scheduler) indexOf(t *Task) int {
@@ -354,7 +402,9 @@ func (s *Scheduler) Reset() {
 		st.nextArrival = 0
 		st.nextIndex = 0
 		st.pending = nil
+		st.head = 0
 	}
 	s.completed = 0
 	s.lastJob = nil
+	s.free = nil
 }
