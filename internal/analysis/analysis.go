@@ -98,19 +98,34 @@ func taskLoad(p model.PartitionSpec, tj int, window vtime.Duration) vtime.Durati
 // Thanks to the schedulability preservation, the analysis depends only on
 // the parameters of partition pi (the modularity the paper highlights).
 func WCRTTimeDice(spec model.SystemSpec, pi, tj int) vtime.Duration {
+	return WCRTTimeDiceDelayed(spec, pi, tj, 0)
+}
+
+// WCRTTimeDiceDelayed is WCRTTimeDice with an extra initial supply latency
+// folded into the fixed point: the first budget is assumed to arrive up to
+// `extra` later than the critical instant of Eq. (4) predicts, and the demand
+// window grows accordingly (so local higher-priority releases landing inside
+// the extra latency are counted, which a post-hoc "+extra" on the final bound
+// would miss). Callers use it for arrival phasings and server policies whose
+// supply is not anchored to the partition's period boundaries: a task
+// arriving mid-period (extra = T_i) or a sporadic server whose replenishment
+// chunks trail consumption (extra = T_i again, making the initial blackout
+// 2T_i − B_i). extra = 0 reduces to WCRTTimeDice exactly.
+func WCRTTimeDiceDelayed(spec model.SystemSpec, pi, tj int, extra vtime.Duration) vtime.Duration {
 	p := spec.Partitions[pi]
 	t := p.Tasks[tj]
 	gap := p.Period - p.Budget
+	lat := gap + extra
 	bound := taskBound(t)
 
 	r := t.WCET
 	for iter := 0; iter < maxIterations; iter++ {
-		load := taskLoad(p, tj, gap+r)
+		load := taskLoad(p, tj, lat+r)
 		next := load + vtime.Duration(vtime.CeilDiv(load, p.Budget))*gap
 		if next == r {
-			return gap + r
+			return lat + r
 		}
-		if gap+next > bound {
+		if lat+next > bound {
 			return Unschedulable
 		}
 		r = next

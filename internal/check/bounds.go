@@ -1,0 +1,155 @@
+// Package check implements live invariant oracles over the telemetry event
+// stream of a simulated system. A Suite is attached as a telemetry.Sink; it
+// rebuilds an independent ledger of every partition's budget, backlog, and
+// per-period supply from the events alone and cross-checks each event against
+// the server semantics, the engine's ordering contract, and — for systems the
+// offline analyses certify — the schedulability-preservation claims of the
+// paper (zero deadline misses, observed WCRT within the analytic bound).
+//
+// The oracles never read simulator internals: everything is reconstructed
+// from the event stream, so a bookkeeping bug in the engine or servers shows
+// up as a divergence between the events and the ledger rather than being
+// silently mirrored.
+package check
+
+import (
+	"timedice/internal/analysis"
+	"timedice/internal/model"
+	"timedice/internal/policies"
+	"timedice/internal/server"
+	"timedice/internal/vtime"
+)
+
+// serverOf resolves a partition's effective server policy (zero ⇒ polling,
+// matching model.Build).
+func serverOf(p model.PartitionSpec) server.Policy {
+	if p.Server == 0 {
+		return server.Polling
+	}
+	return p.Server
+}
+
+// alignedTask reports whether the task's arrivals always coincide with its
+// partition's replenishment boundaries: zero offset and a period that is an
+// integer multiple of the partition period. Aligned tasks arrive with a full
+// budget, which is the critical-instant shape the WCRT analyses assume.
+func alignedTask(p model.PartitionSpec, t model.TaskSpec) bool {
+	return t.Offset == 0 && t.Period%p.Period == 0
+}
+
+// effectiveDeadline returns the task's relative deadline (Period when
+// implicit).
+func effectiveDeadline(t model.TaskSpec) vtime.Duration {
+	if t.Deadline > 0 {
+		return t.Deadline
+	}
+	return t.Period
+}
+
+// UniversalBound returns an observed-response-time bound for task tj of
+// partition pi that is sound under every schedulability-preserving global
+// policy (NoRandom, TimeDiceU, TimeDiceW), provided the system passes
+// analysis.SystemSchedulableConservative.
+//
+// The core is the paper's Eq. (4)–(5) bound (analysis.WCRTTimeDice): the
+// partition's budget B may be deferred to the very end of each period, so the
+// load is served at B per T with a leading (T − B) delay. That critical
+// instant assumes the task arrives at a replenishment boundary with a full
+// budget. A task arriving mid-period may additionally find the budget already
+// consumed (deferrable) or discarded (polling), which delays the first supply
+// by at most one extra period; non-aligned tasks therefore get an extra
+// period of initial latency, folded through analysis.WCRTTimeDiceDelayed so
+// the demand accruing during the extra latency is compounded inside the fixed
+// point rather than bolted on after.
+//
+// Sporadic partitions carry no task-level claim at all (Unschedulable): their
+// replenishment chunks trail consumption instead of landing on period
+// boundaries, and under randomized inversion the boundary-anchored
+// schedulability test lets the chunk schedule recede without bound relative
+// to the periodic supply model — Theorem 1's supply argument simply does not
+// apply. Sporadic partitions are still fully covered by the server-level
+// oracles (cumulative conservation, sliding-window supply, replenishment
+// rules); only per-task response-time claims are out of scope.
+func UniversalBound(spec model.SystemSpec, pi, tj int) vtime.Duration {
+	p := spec.Partitions[pi]
+	if serverOf(p) == server.Sporadic {
+		return analysis.Unschedulable
+	}
+	var extra vtime.Duration
+	if !alignedTask(p, p.Tasks[tj]) {
+		extra = p.Period
+	}
+	return analysis.WCRTTimeDiceDelayed(spec, pi, tj, extra)
+}
+
+// Bound returns the tightest sound observed-response-time bound for task tj
+// of partition pi under the given global policy, or analysis.Unschedulable
+// when none applies.
+//
+// Every policy is covered by UniversalBound. Under NoRandom the partition's
+// supply is never deferred voluntarily, so the hierarchical Davis & Burns
+// bound applies too and the minimum of the two is taken — with the deferrable
+// variant (back-to-back interference) whenever any higher-priority partition
+// retains budget. The tighter bound is restricted to aligned,
+// locally-highest-priority tasks of polling/deferrable partitions: the
+// sporadic server's chunked supply does not match the analysis' replenishment
+// model; for mid-period arrivals the analysis' critical instant does not
+// apply; and with bursty server supply the synchronous-release recurrence is
+// unsound in the presence of local higher-priority siblings — a sibling job
+// released before the task can leave a carry-in tail across the boundary
+// while a further release still lands inside the window, exceeding the
+// ⌈w/T⌉ synchronous count (the classic critical-instant argument needs a
+// constant-rate processor and does not survive the supply gaps).
+func Bound(spec model.SystemSpec, pi, tj int, kind policies.Kind) vtime.Duration {
+	u := UniversalBound(spec, pi, tj)
+	if kind != policies.NoRandom {
+		return u
+	}
+	p := spec.Partitions[pi]
+	if serverOf(p) == server.Sporadic || tj != 0 || !alignedTask(p, p.Tasks[tj]) {
+		return u
+	}
+	anyDeferAbove := false
+	for h := 0; h < pi; h++ {
+		if serverOf(spec.Partitions[h]) == server.Deferrable {
+			anyDeferAbove = true
+			break
+		}
+	}
+	var nr vtime.Duration
+	if anyDeferAbove || serverOf(p) == server.Deferrable {
+		nr = analysis.WCRTNoRandomDeferrable(spec, pi, tj)
+	} else {
+		nr = analysis.WCRTNoRandom(spec, pi, tj)
+	}
+	if nr < u {
+		return nr
+	}
+	return u
+}
+
+// GuaranteedMissFree reports whether the offline analyses certify every
+// *claimable* task of the system deadline-miss-free under every
+// schedulability-preserving policy: the partitions pass the conservative
+// supply test and every polling/deferrable-partition task's universal WCRT
+// bound meets its deadline. This is the headline differential oracle's
+// precondition — for such a system any observed deadline miss of a claimable
+// task, under any TimeDice policy, falsifies schedulability preservation.
+// Tasks in sporadic partitions are outside the claim (see UniversalBound) and
+// are ignored here.
+func GuaranteedMissFree(spec model.SystemSpec) bool {
+	if !analysis.SystemSchedulableConservative(spec) {
+		return false
+	}
+	for pi, p := range spec.Partitions {
+		if serverOf(p) == server.Sporadic {
+			continue
+		}
+		for tj, t := range p.Tasks {
+			if UniversalBound(spec, pi, tj) > effectiveDeadline(t) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"timedice/internal/check"
+	"timedice/internal/engine"
+	"timedice/internal/model"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+	"timedice/internal/server"
+	"timedice/internal/telemetry"
+	"timedice/internal/vtime"
+)
+
+// oneP is a single polling partition (T=10ms, B=2ms) with one aligned task
+// (period 40ms, WCET 1ms). It passes the conservative test and every bound,
+// so the suite arms all oracles including the differential ones.
+func oneP() model.SystemSpec {
+	return model.SystemSpec{
+		Name: "synthetic",
+		Partitions: []model.PartitionSpec{{
+			Name:   "P1",
+			Period: vtime.MS(10),
+			Budget: vtime.MS(2),
+			Server: server.Polling,
+			Tasks:  []model.TaskSpec{{Name: "t1.1", Period: vtime.MS(40), WCET: vtime.MS(1)}},
+		}},
+	}
+}
+
+// twoP adds a second, sporadic partition below P1; t2.1 lives outside the
+// task-level claim (sporadic ⇒ never certified).
+func twoP() model.SystemSpec {
+	spec := oneP()
+	spec.Partitions = append(spec.Partitions, model.PartitionSpec{
+		Name:   "P2",
+		Period: vtime.MS(20),
+		Budget: vtime.MS(2),
+		Server: server.Sporadic,
+		Tasks:  []model.TaskSpec{{Name: "t2.1", Period: vtime.MS(80), WCET: vtime.MS(1)}},
+	})
+	return spec
+}
+
+func newSuite(t *testing.T, spec model.SystemSpec, kind policies.Kind) *check.Suite {
+	t.Helper()
+	s, err := check.NewSuite(spec, kind)
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	return s
+}
+
+// oracles returns the set of distinct oracle names among the violations.
+func oracles(vs []check.Violation) map[string]bool {
+	m := map[string]bool{}
+	for _, v := range vs {
+		m[v.Oracle] = true
+	}
+	return m
+}
+
+func wantOnly(t *testing.T, s *check.Suite, want ...string) {
+	t.Helper()
+	vs, total := s.Violations()
+	got := oracles(vs)
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("oracle %q did not fire; violations: %v", w, vs)
+		}
+	}
+	if len(got) != len(want) || total != len(vs) {
+		t.Errorf("unexpected extra violations (total %d): %v", total, vs)
+	}
+}
+
+// TestOraclesFire feeds each oracle a minimal synthetic event stream that
+// violates exactly its invariant, proving every oracle is live and none
+// fires collaterally.
+func TestOraclesFire(t *testing.T) {
+	ms := vtime.MS
+	at := func(m int64) vtime.Time { return vtime.Time(ms(m)) }
+
+	t.Run("conservation/overdraw", func(t *testing.T) {
+		s := newSuite(t, oneP(), policies.NoRandom)
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindTaskArrival, Partition: 0, Task: "t1.1"})
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindDecision, Partition: 0})
+		// 3ms slice against a 2ms budget.
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindSlice, Partition: 0, Dur: ms(3)})
+		wantOnly(t, s, check.OracleConservation)
+	})
+
+	t.Run("replenish/off-boundary", func(t *testing.T) {
+		s := newSuite(t, oneP(), policies.NoRandom)
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindTaskArrival, Partition: 0, Task: "t1.1"})
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindDecision, Partition: 0})
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindSlice, Partition: 0, Dur: ms(2)})
+		// Full 2ms replenish at t=3ms: amount and Aux agree with the ledger,
+		// but 3ms is off the 10ms boundary grid.
+		s.Event(telemetry.Event{Time: at(3), Kind: telemetry.KindBudgetReplenish, Partition: 0,
+			Dur: ms(2), Aux: int64(ms(2))})
+		wantOnly(t, s, check.OracleReplenish)
+	})
+
+	t.Run("vtime/gap", func(t *testing.T) {
+		s := newSuite(t, oneP(), policies.NoRandom)
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindDecision, Partition: -1})
+		// Idle slice starting at 5ms: the schedule must tile from 0.
+		s.Event(telemetry.Event{Time: at(5), Kind: telemetry.KindSlice, Partition: -1, Dur: ms(5)})
+		wantOnly(t, s, check.OracleVTime)
+	})
+
+	t.Run("work/slice-vs-decision", func(t *testing.T) {
+		// TimeDiceU so that the idle pick itself is legal (idle-as-candidate).
+		s := newSuite(t, oneP(), policies.TimeDiceU)
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindTaskArrival, Partition: 0, Task: "t1.1"})
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindDecision, Partition: -1})
+		// The slice runs P1 although the decision picked idle.
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindSlice, Partition: 0, Dur: ms(1)})
+		wantOnly(t, s, check.OracleWork)
+	})
+
+	t.Run("priority/norandom-inversion", func(t *testing.T) {
+		spec := twoP()
+		s := newSuite(t, spec, policies.NoRandom)
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindTaskArrival, Partition: 0, Task: "t1.1"})
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindTaskArrival, Partition: 1, Task: "t2.1"})
+		// Both partitions are runnable; strict priority demands P1, the
+		// decision picks P2.
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindDecision, Partition: 1})
+		wantOnly(t, s, check.OraclePriority)
+	})
+
+	t.Run("priority/inversion-window-under-norandom", func(t *testing.T) {
+		s := newSuite(t, oneP(), policies.NoRandom)
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindInversionOpen})
+		wantOnly(t, s, check.OraclePriority)
+	})
+
+	t.Run("starvation/backlogged-undersupplied", func(t *testing.T) {
+		s := newSuite(t, oneP(), policies.TimeDiceU)
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindTaskArrival, Partition: 0, Task: "t1.1"})
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindDecision, Partition: -1})
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindSlice, Partition: -1, Dur: ms(25)})
+		// The next arrival closes the periods [0,10) and [10,20): the second
+		// was backlogged throughout yet P1 consumed nothing.
+		s.Event(telemetry.Event{Time: at(25), Kind: telemetry.KindTaskArrival, Partition: 0, Task: "t1.1", Job: 1})
+		wantOnly(t, s, check.OracleStarvation)
+	})
+
+	t.Run("differential/certified-miss", func(t *testing.T) {
+		s := newSuite(t, twoP(), policies.NoRandom)
+		// A miss by the certified P1 task falsifies the claim...
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindDeadlineMiss, Partition: 0, Task: "t1.1", Dur: ms(1)})
+		// ...a miss by the sporadic-partition task is outside it.
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindDeadlineMiss, Partition: 1, Task: "t2.1", Dur: ms(1)})
+		vs, total := s.Violations()
+		if total != 1 || !oracles(vs)[check.OracleDifferential] {
+			t.Fatalf("want exactly the certified miss to fire, got %v", vs)
+		}
+	})
+
+	t.Run("differential/wcrt-exceeds-bound", func(t *testing.T) {
+		s := newSuite(t, oneP(), policies.NoRandom)
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindTaskArrival, Partition: 0, Task: "t1.1"})
+		// Response of 100ms dwarfs any bound for a 1ms task in a B/T=0.2
+		// partition.
+		s.Event(telemetry.Event{Time: at(0), Kind: telemetry.KindTaskComplete, Partition: 0, Task: "t1.1", Dur: ms(100)})
+		s.Finish(at(0))
+		wantOnly(t, s, check.OracleDifferential)
+	})
+
+	t.Run("counters/disagree", func(t *testing.T) {
+		s := newSuite(t, oneP(), policies.NoRandom)
+		s.CheckCounters(&engine.Counters{Decisions: 7}, ms(0))
+		vs, _ := s.Violations()
+		if !oracles(vs)[check.OracleCounters] {
+			t.Fatalf("counters oracle did not fire: %v", vs)
+		}
+	})
+}
+
+// TestSuiteCleanRun drives a real simulation through the suite and expects
+// silence — the smoke half of the synthetic tests above.
+func TestSuiteCleanRun(t *testing.T) {
+	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
+		t.Run(kind.String(), func(t *testing.T) {
+			spec := twoP()
+			suite := newSuite(t, spec, kind)
+			built, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pol, err := policies.Build(kind, built.Partitions, policies.Options{Quantum: vtime.MS(1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := engine.New(built.Partitions, pol, rng.New(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.AttachTelemetry(suite)
+			sys.RunFor(200 * vtime.Millisecond)
+			sys.FlushTelemetry()
+			suite.Finish(sys.Now())
+			suite.CheckCounters(&sys.Counters, 200*vtime.Millisecond)
+			if vs, total := suite.Violations(); total != 0 {
+				t.Fatalf("%d violations on a certified system: %v", total, vs)
+			}
+			if suite.Events() == 0 {
+				t.Fatal("no events reached the suite")
+			}
+		})
+	}
+}
+
+// TestNewSuiteRejects pins the constructor's contract.
+func TestNewSuiteRejects(t *testing.T) {
+	if _, err := check.NewSuite(oneP(), policies.TDMA); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Errorf("TDMA accepted: %v", err)
+	}
+	bad := oneP()
+	bad.Partitions[0].Budget = bad.Partitions[0].Period * 2
+	if _, err := check.NewSuite(bad, policies.NoRandom); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

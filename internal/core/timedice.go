@@ -47,12 +47,28 @@ type PartitionState struct {
 	// NextReplenish is r_{i,t} + T_i: the next replenishment instant, which
 	// is also the current budget deadline d_{i,t}.
 	NextReplenish vtime.Time
+	// NextSupply is the earliest future instant at which the server can gain
+	// budget. Periodic servers (polling, deferrable) replenish exactly at
+	// NextReplenish, but a sporadic server's queued chunks may land before
+	// the period boundary; interference terms must use this earlier instant
+	// or the test under-counts preemption and grants unsafe inversions. The
+	// zero value means "equal to NextReplenish".
+	NextSupply vtime.Time
 	// Active is the paper's activity predicate: non-zero remaining budget.
 	Active bool
 	// Runnable marks partitions eligible for selection (active with ready
 	// work). Only runnable partitions enter the candidate list; all
 	// partitions participate in schedulability tests.
 	Runnable bool
+}
+
+// supplyTime resolves the earliest-future-replenishment instant, defaulting
+// to NextReplenish for states that never set NextSupply.
+func (s *PartitionState) supplyTime() vtime.Time {
+	if s.NextSupply != 0 {
+		return s.NextSupply
+	}
+	return s.NextReplenish
 }
 
 // SchedulabilityTest is Algorithm 3: it reports whether partition h (an index
@@ -94,11 +110,11 @@ func SchedulabilityTest(states []PartitionState, h int, now vtime.Time, w vtime.
 	for {
 		next := w0
 		for j := 0; j < h; j++ {
-			o := states[j].NextReplenish.Sub(now)
+			o := states[j].supplyTime().Sub(now)
 			next += vtime.Duration(vtime.CeilDiv(cur-o, states[j].Period)) * states[j].Budget
 		}
 		if !s.Active {
-			o := s.NextReplenish.Sub(now)
+			o := s.supplyTime().Sub(now)
 			next += vtime.Duration(vtime.CeilDiv(cur-o, s.Period)) * s.Budget
 		}
 		if next > deadline {
@@ -352,6 +368,7 @@ func Snapshot(sys *engine.System, states []PartitionState) []PartitionState {
 			Period:        srv.Period(),
 			Remaining:     srv.Remaining(),
 			NextReplenish: srv.Deadline(),
+			NextSupply:    srv.NextReplenish(),
 			Active:        srv.Active(),
 			Runnable:      part.Runnable(),
 		})

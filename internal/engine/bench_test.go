@@ -66,6 +66,12 @@ func BenchmarkRunnable(b *testing.B) {
 // TestEngineHotPathZeroAlloc pins the allocation contract of the nil-sink
 // engine: once warmed, stepping allocates nothing under either policy.
 func TestEngineHotPathZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin runs in the non-race CI lane")
+	}
 	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
 		t.Run(kind.String(), func(t *testing.T) {
 			sys := buildSystem(t, kind)

@@ -11,11 +11,16 @@
 // no new trials are started, in-flight trials finish, and the error reported
 // is the one with the smallest input index among those observed — the same
 // error a sequential run would surface whenever the failing trial is the
-// first to fail deterministically.
+// first to fail deterministically. A panicking trial is contained the same
+// way: the panic is recovered into an error (with the trial index and stack),
+// remaining work is cancelled, and the pool drains normally instead of
+// crashing the process from a worker goroutine.
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -34,7 +39,8 @@ func Workers(n int) int {
 // order. workers follows the Workers convention (<= 0 ⇒ GOMAXPROCS); with one
 // worker the items run sequentially on the calling goroutine with no
 // goroutine or channel overhead. fn must be safe to call concurrently with
-// itself for distinct indices.
+// itself for distinct indices. A panic in fn is recovered and reported as
+// that trial's error rather than crashing the pool.
 func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 	out := make([]R, len(items))
 	w := Workers(workers)
@@ -43,7 +49,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 	}
 	if w <= 1 {
 		for i, item := range items {
-			r, err := fn(i, item)
+			r, err := safeCall(fn, i, item)
 			if err != nil {
 				return nil, err
 			}
@@ -70,7 +76,7 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 				if i >= len(items) || failed.Load() {
 					return
 				}
-				r, err := fn(i, items[i])
+				r, err := safeCall(fn, i, items[i])
 				if err != nil {
 					failed.Store(true)
 					mu.Lock()
@@ -89,6 +95,18 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// safeCall invokes one trial, converting a panic into that trial's error so
+// the first-error-wins machinery cancels and drains the pool instead of the
+// process dying inside a worker goroutine.
+func safeCall[T, R any](fn func(int, T) (R, error), i int, item T) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: trial %d panicked: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	return fn(i, item)
 }
 
 // Do runs heterogeneous thunks under the same pool semantics as Map. It is

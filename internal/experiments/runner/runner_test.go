@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -125,4 +126,55 @@ func TestDo(t *testing.T) {
 	if err := Do(2, func() error { return nil }, func() error { return errors.New("x") }); err == nil {
 		t.Error("Do should propagate thunk errors")
 	}
+}
+
+// TestMapPanicRecovered covers a panicking trial function on both pool
+// shapes: the panic must surface as an error naming the trial, remaining work
+// must stop being claimed, and the pool must drain without deadlock (the test
+// itself hangs if it doesn't). Run under -race this also proves the recovery
+// path is properly synchronized.
+func TestMapPanicRecovered(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 4} {
+		var started atomic.Int64
+		_, err := Map(workers, items, func(i, v int) (int, error) {
+			started.Add(1)
+			if i == 5 {
+				panic(fmt.Sprintf("boom at %d", i))
+			}
+			return v, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was not reported as an error", workers)
+		}
+		if want := "trial 5 panicked"; !contains(err.Error(), want) {
+			t.Fatalf("workers=%d: error %q does not mention %q", workers, err, want)
+		}
+		if !contains(err.Error(), "boom at 5") {
+			t.Fatalf("workers=%d: error %q lost the panic value", workers, err)
+		}
+		// Cancellation: with 4 workers at most a handful of trials past the
+		// panic may already be in flight; the bulk must never start.
+		if n := started.Load(); workers == 4 && n == int64(len(items)) {
+			t.Fatalf("workers=%d: all %d trials ran despite the panic", workers, n)
+		}
+	}
+}
+
+// TestDoPanicRecovered pins the same containment for Do.
+func TestDoPanicRecovered(t *testing.T) {
+	err := Do(2,
+		func() error { return nil },
+		func() error { panic("thunk panic") },
+	)
+	if err == nil || !contains(err.Error(), "thunk panic") {
+		t.Fatalf("Do did not surface the panic: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
 }

@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"timedice/internal/model"
+	"timedice/internal/policies"
+	"timedice/internal/vtime"
+)
+
+// wireScenario is the JSON envelope of an encoded scenario. The system spec
+// uses model's own schema (periods/budgets in fractional milliseconds), so a
+// scenario file embeds a valid `timedice-sim` system verbatim.
+type wireScenario struct {
+	System        model.SystemSpec `json:"system"`
+	Policy        string           `json:"policy"`
+	QuantumMillis float64          `json:"quantumMillis"`
+	Seed          uint64           `json:"seed"`
+	HorizonMillis float64          `json:"horizonMillis"`
+}
+
+// Decode bounds. Fuzzed inputs are arbitrary, so decoding enforces hard caps
+// that keep a single simulation cheap (the horizon cap bounds total events;
+// the period floors bound event density) before any simulation work happens.
+const (
+	maxPartitions  = 16
+	maxTasksPer    = 16
+	minPartPeriod  = vtime.Millisecond
+	maxPartPeriod  = vtime.Second
+	minTaskPeriod  = 500 * vtime.Microsecond
+	minQuantum     = 100 * vtime.Microsecond
+	maxQuantum     = 100 * vtime.Millisecond
+	maxHorizon     = 2 * vtime.Second
+	maxScenarioLen = 1 << 20
+)
+
+// Encode serializes the scenario to its canonical JSON form.
+func Encode(sc Scenario) ([]byte, error) {
+	w := wireScenario{
+		System:        sc.Spec,
+		Policy:        sc.Policy.String(),
+		QuantumMillis: sc.Quantum.Milliseconds(),
+		Seed:          sc.Seed,
+		HorizonMillis: sc.Horizon.Milliseconds(),
+	}
+	return json.Marshal(w)
+}
+
+// KindFromString parses a policy name as produced by policies.Kind.String.
+// Only the policies the fuzz oracles cover are accepted; TDMA is not
+// schedulability-preserving in the paper's sense and is rejected.
+func KindFromString(s string) (policies.Kind, error) {
+	switch s {
+	case "NoRandom":
+		return policies.NoRandom, nil
+	case "TimeDiceU":
+		return policies.TimeDiceU, nil
+	case "TimeDiceW":
+		return policies.TimeDiceW, nil
+	default:
+		return 0, fmt.Errorf("gen: unknown or unsupported policy %q", s)
+	}
+}
+
+// Decode parses an encoded scenario and validates it against the fuzzing
+// bounds: structural validity (model.SystemSpec.Validate), size caps, event
+// density floors, and a supported policy. Any scenario it accepts is safe to
+// simulate in bounded time.
+func Decode(data []byte) (Scenario, error) {
+	var sc Scenario
+	if len(data) > maxScenarioLen {
+		return sc, fmt.Errorf("gen: scenario blob too large (%d bytes)", len(data))
+	}
+	var w wireScenario
+	if err := json.Unmarshal(data, &w); err != nil {
+		return sc, err
+	}
+	kind, err := KindFromString(w.Policy)
+	if err != nil {
+		return sc, err
+	}
+	if err := w.System.Validate(); err != nil {
+		return sc, err
+	}
+	if n := len(w.System.Partitions); n == 0 || n > maxPartitions {
+		return sc, fmt.Errorf("gen: partition count %d outside [1, %d]", n, maxPartitions)
+	}
+	for _, p := range w.System.Partitions {
+		if p.Period < minPartPeriod || p.Period > maxPartPeriod {
+			return sc, fmt.Errorf("gen: partition %q period %v outside [%v, %v]",
+				p.Name, p.Period, minPartPeriod, maxPartPeriod)
+		}
+		if len(p.Tasks) > maxTasksPer {
+			return sc, fmt.Errorf("gen: partition %q has %d tasks (max %d)",
+				p.Name, len(p.Tasks), maxTasksPer)
+		}
+		for _, t := range p.Tasks {
+			if t.Period < minTaskPeriod {
+				return sc, fmt.Errorf("gen: task %q period %v below %v",
+					t.Name, t.Period, minTaskPeriod)
+			}
+		}
+	}
+	quantum := vtime.FromFloatMS(w.QuantumMillis)
+	if quantum < minQuantum || quantum > maxQuantum {
+		return sc, fmt.Errorf("gen: quantum %v outside [%v, %v]", quantum, minQuantum, maxQuantum)
+	}
+	horizon := vtime.FromFloatMS(w.HorizonMillis)
+	if horizon <= 0 || horizon > maxHorizon {
+		return sc, fmt.Errorf("gen: horizon %v outside (0, %v]", horizon, maxHorizon)
+	}
+	sc = Scenario{
+		Spec:    w.System,
+		Policy:  kind,
+		Quantum: quantum,
+		Seed:    w.Seed,
+		Horizon: horizon,
+	}
+	return sc, nil
+}

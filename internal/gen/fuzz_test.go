@@ -1,0 +1,59 @@
+package gen
+
+import (
+	"testing"
+
+	"timedice/internal/rng"
+)
+
+// FuzzScenarioParams fuzzes the generator's own input space: any master seed
+// must yield a certified scenario that runs clean through the full oracle
+// suite. A failure here is a soundness bug in the generator, the analyses,
+// the engine, or the oracles — the fuzzer does not care which; the shrunk
+// encoding in the failure message says where to look.
+func FuzzScenarioParams(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(0xfeed))
+	f.Add(uint64(0x2c41718470bb8b3)) // past campaign counterexample (WCRT carry-in)
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		sc := Generate(rng.New(seed), DefaultOptions())
+		suite, err := Run(sc)
+		if err != nil {
+			t.Fatalf("seed %#x: %v", seed, err)
+		}
+		if vs, total := suite.Violations(); total > 0 {
+			blob, _ := Encode(sc)
+			t.Fatalf("seed %#x: %d oracle violations\n%v\nreproducer: %s", seed, total, vs, blob)
+		}
+	})
+}
+
+// FuzzScenarioBytes fuzzes the encoded scenario format: every blob Decode
+// accepts — including hand-mutated JSON well outside the generator's
+// distribution — must simulate without a single oracle violation. The
+// differential oracles self-gate on the analyses, so uncertified systems
+// exercise the server/engine invariants while certified ones also arm the
+// schedulability-preservation claim.
+func FuzzScenarioBytes(f *testing.F) {
+	// Seed the corpus with generator output across the policy space (the
+	// checked-in corpus under testdata/fuzz adds past counterexamples).
+	r := rng.New(0xc0ffee)
+	for i := 0; i < 4; i++ {
+		if blob, err := Encode(Generate(r, DefaultOptions())); err == nil {
+			f.Add(blob)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Decode(data)
+		if err != nil {
+			t.Skip() // rejected blobs are the parser's concern, not the oracles'
+		}
+		suite, err := Run(sc)
+		if err != nil {
+			t.Fatalf("decoded scenario failed to run: %v\n%s", err, data)
+		}
+		if vs, total := suite.Violations(); total > 0 {
+			t.Fatalf("%d oracle violations\n%v\nscenario: %s", total, vs, data)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"timedice/internal/check"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+)
+
+// TestGeneratedScenariosPassOracles is the in-tree slice of the simfuzz
+// campaign: every generated scenario must run clean through the full oracle
+// suite under its drawn policy.
+func TestGeneratedScenariosPassOracles(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	r := rng.New(0xfeed)
+	opts := DefaultOptions()
+	for i := 0; i < n; i++ {
+		sc := Generate(r, opts)
+		suite, err := Run(sc)
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		if vs, total := suite.Violations(); total != 0 {
+			enc, _ := Encode(sc)
+			t.Errorf("scenario %d: %d violations, first %v\nscenario: %s", i, total, vs[0], enc)
+		}
+	}
+}
+
+// TestGenerateDeterministic pins seed reproducibility of the generator: one
+// seed, one scenario, bit for bit.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rng.New(42), DefaultOptions())
+	b := Generate(rng.New(42), DefaultOptions())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different scenarios:\n%+v\n%+v", a, b)
+	}
+	c := Generate(rng.New(43), DefaultOptions())
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+}
+
+// TestRunDeterministic pins simulation reproducibility: the same scenario
+// yields the same event-stream digest on every run.
+func TestRunDeterministic(t *testing.T) {
+	sc := Generate(rng.New(7), DefaultOptions())
+	s1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Digest() != s2.Digest() {
+		t.Fatalf("digest mismatch: %#x vs %#x", s1.Digest(), s2.Digest())
+	}
+	if s1.Events() == 0 {
+		t.Fatal("scenario produced no events")
+	}
+}
+
+// TestNoRandomIgnoresSeed is the metamorphic NoRandom ≡ strict-priority
+// check: the baseline policy consumes no randomness, so changing the
+// simulation seed must not change a single event.
+func TestNoRandomIgnoresSeed(t *testing.T) {
+	sc := Generate(rng.New(11), DefaultOptions())
+	sc.Policy = policies.NoRandom
+	sc.Seed = 1
+	s1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed = 999
+	s2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Digest() != s2.Digest() {
+		t.Fatalf("NoRandom schedule depends on the rng seed: %#x vs %#x", s1.Digest(), s2.Digest())
+	}
+}
+
+// TestGeneratedSpecsCertified pins the generator contract: every emitted spec
+// is certified miss-free by the offline analyses.
+func TestGeneratedSpecsCertified(t *testing.T) {
+	r := rng.New(3)
+	for i := 0; i < 20; i++ {
+		spec := GenerateSpec(r, DefaultOptions())
+		if !check.GuaranteedMissFree(spec) {
+			t.Fatalf("spec %d not certified miss-free: %+v", i, spec)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("spec %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the wire format.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	for i := 0; i < 10; i++ {
+		sc := Generate(r, DefaultOptions())
+		blob, err := Encode(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("decode of encoded scenario failed: %v\n%s", err, blob)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Fatalf("round trip mismatch:\n%+v\n%+v", sc, back)
+		}
+	}
+}
+
+// TestDecodeRejects exercises the decode guards.
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		blob string
+	}{
+		{"garbage", "{"},
+		{"tdma", `{"system":{"name":"x","partitions":[{"name":"P1","periodMillis":10,"budgetMillis":5}]},"policy":"TDMA","quantumMillis":1,"seed":1,"horizonMillis":100}`},
+		{"no policy", `{"system":{"name":"x","partitions":[{"name":"P1","periodMillis":10,"budgetMillis":5}]},"quantumMillis":1,"seed":1,"horizonMillis":100}`},
+		{"huge horizon", `{"system":{"name":"x","partitions":[{"name":"P1","periodMillis":10,"budgetMillis":5}]},"policy":"NoRandom","quantumMillis":1,"seed":1,"horizonMillis":1e9}`},
+		{"zero horizon", `{"system":{"name":"x","partitions":[{"name":"P1","periodMillis":10,"budgetMillis":5}]},"policy":"NoRandom","quantumMillis":1,"seed":1,"horizonMillis":0}`},
+		{"tiny quantum", `{"system":{"name":"x","partitions":[{"name":"P1","periodMillis":10,"budgetMillis":5}]},"policy":"NoRandom","quantumMillis":0.01,"seed":1,"horizonMillis":100}`},
+		{"no partitions", `{"system":{"name":"x","partitions":[]},"policy":"NoRandom","quantumMillis":1,"seed":1,"horizonMillis":100}`},
+		{"budget over period", `{"system":{"name":"x","partitions":[{"name":"P1","periodMillis":10,"budgetMillis":50}]},"policy":"NoRandom","quantumMillis":1,"seed":1,"horizonMillis":100}`},
+	}
+	for _, c := range cases {
+		if _, err := Decode([]byte(c.blob)); err == nil {
+			t.Errorf("%s: decode accepted invalid scenario", c.name)
+		}
+	}
+}
+
+// TestShrinkMinimizes checks the minimizer against a synthetic predicate:
+// "fails" whenever partition P1 is present with at least one task and the
+// horizon exceeds a floor. Shrink must strip everything else.
+func TestShrinkMinimizes(t *testing.T) {
+	sc := Generate(rng.New(21), DefaultOptions())
+	if len(sc.Spec.Partitions) < 2 {
+		sc = Generate(rng.New(22), DefaultOptions())
+	}
+	fails := func(c Scenario) bool {
+		if c.Horizon < 10 {
+			return false
+		}
+		for _, p := range c.Spec.Partitions {
+			if p.Name == "P1" && len(p.Tasks) >= 1 {
+				return true
+			}
+		}
+		return false
+	}
+	if !fails(sc) {
+		t.Skip("generated scenario lacks P1 with tasks")
+	}
+	min := Shrink(sc, fails, 10_000)
+	if !fails(min) {
+		t.Fatal("shrink returned a non-failing scenario")
+	}
+	if len(min.Spec.Partitions) != 1 {
+		t.Fatalf("shrink kept %d partitions, want 1", len(min.Spec.Partitions))
+	}
+	if n := len(min.Spec.Partitions[0].Tasks); n != 1 {
+		t.Fatalf("shrink kept %d tasks, want 1", n)
+	}
+	if min.Horizon >= sc.Horizon {
+		t.Fatalf("shrink did not reduce horizon: %v -> %v", sc.Horizon, min.Horizon)
+	}
+}

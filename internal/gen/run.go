@@ -1,0 +1,51 @@
+package gen
+
+import (
+	"timedice/internal/check"
+	"timedice/internal/engine"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+)
+
+// Run simulates the scenario with a full check.Suite attached as the
+// telemetry sink and returns the finished suite. The suite holds the oracle
+// verdict (Violations), the event-stream digest, and observed response
+// statistics; the engine's cheap counters are cross-checked against the
+// suite's own event-derived tallies before returning.
+func Run(sc Scenario) (*check.Suite, error) {
+	suite, err := check.NewSuite(sc.Spec, sc.Policy)
+	if err != nil {
+		return nil, err
+	}
+	built, err := sc.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	pol, err := policies.Build(sc.Policy, built.Partitions, policies.Options{Quantum: sc.Quantum})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := engine.New(built.Partitions, pol, rng.New(sc.Seed))
+	if err != nil {
+		return nil, err
+	}
+	sys.AttachTelemetry(suite)
+	sys.RunFor(sc.Horizon)
+	sys.FlushTelemetry()
+	suite.Finish(sys.Now())
+	suite.CheckCounters(&sys.Counters, sc.Horizon)
+	return suite, nil
+}
+
+// Fails reports whether the scenario produces at least one oracle violation
+// (setup errors count as failures: a scenario that stops decoding or building
+// mid-shrink is rejected by returning false from the shrinker's predicate
+// instead, so this is only used on scenarios that ran once already).
+func Fails(sc Scenario) bool {
+	suite, err := Run(sc)
+	if err != nil {
+		return false
+	}
+	_, n := suite.Violations()
+	return n > 0
+}

@@ -1,0 +1,101 @@
+package gen
+
+import "timedice/internal/model"
+
+// Shrink greedily minimizes a failing scenario while the predicate keeps
+// reporting failure. It tries, in order of expected payoff: halving the
+// horizon, dropping whole partitions, dropping individual tasks, and halving
+// task WCETs — accepting any candidate that still fails and restarting the
+// pass, until a full pass makes no progress or maxSteps candidate evaluations
+// have been spent. The result is the smallest failing scenario found.
+//
+// The predicate is typically Fails (re-simulate and check the oracles), but
+// tests substitute cheaper or more specific reproduction checks. Shrink never
+// re-validates schedulability: oracles that are gated on analysis results
+// re-derive their gates from the shrunk spec, so a candidate that shrinks
+// away the precondition simply stops failing and is rejected.
+func Shrink(sc Scenario, fails func(Scenario) bool, maxSteps int) Scenario {
+	steps := 0
+	try := func(cand Scenario) bool {
+		if steps >= maxSteps {
+			return false
+		}
+		steps++
+		return fails(cand)
+	}
+	for progress := true; progress && steps < maxSteps; {
+		progress = false
+
+		// Halve the horizon while the violation still reproduces.
+		for sc.Horizon > 1 {
+			cand := sc
+			cand.Horizon = sc.Horizon / 2
+			if !try(cand) {
+				break
+			}
+			sc = cand
+			progress = true
+		}
+
+		// Drop whole partitions, highest index (lowest priority) first so
+		// the interference structure above a failing partition survives.
+		for pi := len(sc.Spec.Partitions) - 1; pi >= 0; pi-- {
+			if len(sc.Spec.Partitions) <= 1 {
+				break
+			}
+			cand := sc
+			cand.Spec = cloneSpec(sc.Spec)
+			cand.Spec.Partitions = append(cand.Spec.Partitions[:pi], cand.Spec.Partitions[pi+1:]...)
+			if try(cand) {
+				sc = cand
+				progress = true
+			}
+		}
+
+		// Drop individual tasks.
+		for pi := range sc.Spec.Partitions {
+			for tj := len(sc.Spec.Partitions[pi].Tasks) - 1; tj >= 0; tj-- {
+				cand := sc
+				cand.Spec = cloneSpec(sc.Spec)
+				ts := cand.Spec.Partitions[pi].Tasks
+				cand.Spec.Partitions[pi].Tasks = append(ts[:tj], ts[tj+1:]...)
+				if try(cand) {
+					sc = cand
+					progress = true
+				}
+			}
+		}
+
+		// Halve WCETs of the remaining tasks.
+		for pi := range sc.Spec.Partitions {
+			for tj := range sc.Spec.Partitions[pi].Tasks {
+				w := sc.Spec.Partitions[pi].Tasks[tj].WCET
+				if w <= minWCET {
+					continue
+				}
+				cand := sc
+				cand.Spec = cloneSpec(sc.Spec)
+				cand.Spec.Partitions[pi].Tasks[tj].WCET = (w / 2).Max(minWCET)
+				if try(cand) {
+					sc = cand
+					progress = true
+				}
+			}
+		}
+	}
+	return sc
+}
+
+// cloneSpec deep-copies the partition and task slices so shrink candidates
+// never alias the original scenario.
+func cloneSpec(s model.SystemSpec) model.SystemSpec {
+	out := s
+	out.Partitions = make([]model.PartitionSpec, len(s.Partitions))
+	copy(out.Partitions, s.Partitions)
+	for i := range out.Partitions {
+		tasks := make([]model.TaskSpec, len(out.Partitions[i].Tasks))
+		copy(tasks, out.Partitions[i].Tasks)
+		out.Partitions[i].Tasks = tasks
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+//go:build !timedice_mutation
+
+package server
+
+import "timedice/internal/vtime"
+
+// replenishShort is the mutation-testing hook for the oracle suite: normal
+// builds replenish boundary servers to the full budget. Building with
+// -tags timedice_mutation shorts every boundary replenishment by a fixed
+// amount (see mutation_on.go), an injected server bug that the check
+// package's replenishment/starvation oracles must detect end-to-end.
+const replenishShort vtime.Duration = 0

@@ -1,0 +1,13 @@
+//go:build timedice_mutation
+
+package server
+
+import "timedice/internal/vtime"
+
+// replenishShort under the timedice_mutation tag: every boundary
+// replenishment (polling/deferrable) delivers 100µs less than the full
+// budget. The run stays self-consistent — the observer reports the shorted
+// amount, the engine never overdraws — so only an oracle that knows the
+// server contract ("a boundary replenish restores the full budget") can
+// catch it. check's TestMutationOraclesFire asserts it does.
+const replenishShort vtime.Duration = 100 * vtime.Microsecond

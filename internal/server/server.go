@@ -162,10 +162,11 @@ func (s *Server) AdvanceTo(now vtime.Time) {
 	}
 	for s.lastReplenish.Add(s.period) <= now {
 		s.lastReplenish = s.lastReplenish.Add(s.period)
-		if s.obs != nil && s.remaining < s.budget {
-			s.obs.Replenished(s.lastReplenish, s.budget-s.remaining, s.budget)
+		target := s.budget - replenishShort // replenishShort is 0 outside mutation builds
+		if s.obs != nil && s.remaining < target {
+			s.obs.Replenished(s.lastReplenish, target-s.remaining, target)
 		}
-		s.remaining = s.budget
+		s.remaining = target
 	}
 }
 
