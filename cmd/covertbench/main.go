@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"timedice/internal/experiments"
+	"timedice/internal/prof"
 )
 
 func main() {
@@ -31,7 +32,12 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "quick", "experiment scale: quick | full")
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "trial workers: 0 = one per CPU, 1 = sequential")
+	pf := prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := pf.Start()
+	if err != nil {
 		return err
 	}
 	sc := experiments.Quick()
@@ -67,10 +73,14 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(w, "==== experiment %s (scale=%s, seed=%d) ====\n", r.name, *scaleName, *seed)
 		if err := r.fn(); err != nil {
+			stopProf()
 			return fmt.Errorf("experiment %s: %w", r.name, err)
 		}
 		fmt.Fprintln(w)
 		ran = true
+	}
+	if err := stopProf(); err != nil {
+		return err
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *fig)

@@ -14,35 +14,47 @@ import (
 	"os"
 
 	"timedice/internal/experiments"
+	"timedice/internal/prof"
 )
 
 func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "overheadbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
 	fs := flag.NewFlagSet("overheadbench", flag.ContinueOnError)
 	secs := fs.Int("secs", 30, "simulated seconds per configuration")
 	seed := fs.Uint64("seed", 1, "random seed")
 	naive := fs.Bool("naive", false, "also run the unprincipled-randomization shortfall comparison")
 	randomness := fs.Bool("entropy", false, "also run the schedule-randomness metrics (slot entropy, exhaustion spread)")
 	parallel := fs.Int("parallel", 1, "trial workers: 0 = one per CPU, 1 = sequential (keeps Table IV latencies noise-free)")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
+	pf := prof.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	stopProf, err := pf.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	sc := experiments.Scale{SimSeconds: *secs, Seed: *seed, Parallel: *parallel}
 	if _, err := experiments.Overhead(sc, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "overheadbench:", err)
-		os.Exit(1)
+		return err
 	}
 	if *naive {
 		fmt.Println()
 		if _, err := experiments.Naive(sc, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "overheadbench:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	if *randomness {
 		fmt.Println()
 		if _, err := experiments.Randomness(sc, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "overheadbench:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return stopProf()
 }

@@ -24,6 +24,7 @@ import (
 	"timedice/internal/experiments/runner"
 	"timedice/internal/gen"
 	"timedice/internal/policies"
+	"timedice/internal/prof"
 	"timedice/internal/rng"
 )
 
@@ -40,8 +41,21 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "master seed; the whole campaign is a pure function of it")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "worker count (<=0: one per CPU); does not affect output")
 	flag.BoolVar(&cfg.shrink, "shrink", true, "minimize the first failing scenario before reporting it")
+	pf := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
-	os.Exit(campaign(cfg, os.Stdout))
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simfuzz:", err)
+		os.Exit(2)
+	}
+	code := campaign(cfg, os.Stdout)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "simfuzz:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
 }
 
 // trial is the per-scenario record; everything the report needs is captured

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"timedice/internal/vtime"
+)
+
+// This file implements the incremental schedulability-test cache: the Fig. 9
+// observation taken one step further. A verdict computed by Algorithm 3 at
+// decision time t stays exactly reproducible for a computable span of virtual
+// time, so Pick can reuse it instead of re-running the busy-interval fixpoint,
+// provided nothing discontinuous happened to the partitions it reads.
+//
+// Soundness (and exactness — cached and uncached runs must produce
+// byte-identical schedules, pinned differentially against the simfuzz corpus):
+//
+// The verdict for Π_h reads only partitions 0..h: budgets B_j and periods T_j
+// (constants), remaining budgets B_j(t), replenishment-stream anchors
+// (NextSupply/NextReplenish), the deadline, and Π_h's activity flag. The
+// engine stamps a partition whenever one of those changes discontinuously —
+// job release/completion, budget depletion, replenishment delivery, a silent
+// period-boundary advance, or a sporadic server scheduling a future chunk.
+// Between stamps the only evolution is the passage of time: remaining budgets
+// decrease by at most the elapsed δ (execution), and every anchor and deadline
+// is constant in absolute time.
+//
+// Write the test at time t as the least fixpoint E of
+//
+//	E = t + w + R_h(t) + Σ_j B_j · N_j(E)
+//
+// (absolute form of Eqs. 1–2), where R_h(t) is the sum of remaining budgets
+// and N_j(E) counts stream arrivals strictly before E. PASS ⇔ E ≤ d.
+//
+//   - FAIL is valid for the rest of the epoch: at t' = t+δ the base term
+//     t' + R_h(t') ≥ t + R_h(t) (execution consumes at most δ of budget per
+//     δ of time), so the new fixpoint E' ≥ E > d.
+//   - PASS is valid while now ≤ t + min(d_rel, ρ_next) − E_rel: as long as
+//     the interval end E+δ neither passes the deadline nor captures a stream
+//     arrival that E did not (ρ_next is the earliest arrival ≥ E among the
+//     streams the test charges), E+δ is a fixpoint of the shifted equation
+//     and the verdict is unchanged.
+//
+// Invalidation is per-partition: a stamp on Π_j stales the cached verdicts of
+// every Π_h with h ≥ j and leaves h < j untouched, tracked with a prefix-max
+// over the engine's stamp vector.
+
+// verdictEntry is one memoized Algorithm-3 outcome.
+type verdictEntry struct {
+	stamp      uint64     // prefix-max state stamp the verdict was computed under
+	validUntil vtime.Time // last instant (inclusive) the verdict is reusable
+	ok         bool
+}
+
+// Cache memoizes per-partition schedulability verdicts across decision
+// points. The zero value is ready to use; it is sized on first begin call.
+// A Cache belongs to one Policy and is not safe for concurrent use.
+type Cache struct {
+	entries []verdictEntry
+	prefix  []uint64 // prefix[h] = max(stamps[0..h]) for the current decision
+	hits    int64
+	// searchValid accumulates, across one candidate search, the minimum
+	// validUntil of every verdict the search consulted. Until that instant —
+	// and as long as no partition is stamped — the whole search outcome
+	// (candidate list and idle eligibility) is reproducible, which Pick
+	// exploits to skip the snapshot and search entirely.
+	searchValid vtime.Time
+}
+
+// begin prepares the cache for one decision over n partitions whose current
+// state stamps are stamps[0..n-1].
+func (c *Cache) begin(stamps []uint64, n int) {
+	if len(c.entries) != n {
+		if cap(c.entries) < n {
+			c.entries = make([]verdictEntry, n)
+			c.prefix = make([]uint64, n)
+		}
+		c.entries = c.entries[:n]
+		c.prefix = c.prefix[:n]
+		c.Reset()
+	}
+	var m uint64
+	for i := 0; i < n; i++ {
+		if stamps[i] > m {
+			m = stamps[i]
+		}
+		c.prefix[i] = m
+	}
+	c.searchValid = vtime.Infinity
+}
+
+// lookup returns the cached verdict for partition h if it is still valid at
+// instant now. cacheIgnoresInvalidation is the timedice_mutation hook: normal
+// builds compile it to false and the branch folds away.
+func (c *Cache) lookup(h int, now vtime.Time) (ok, hit bool) {
+	e := &c.entries[h]
+	if (cacheIgnoresInvalidation || e.stamp >= c.prefix[h]) && now <= e.validUntil {
+		c.hits++
+		if e.validUntil < c.searchValid {
+			c.searchValid = e.validUntil
+		}
+		return e.ok, true
+	}
+	return false, false
+}
+
+// store memoizes a freshly computed verdict for partition h.
+func (c *Cache) store(h int, ok bool, validUntil vtime.Time) {
+	c.entries[h] = verdictEntry{stamp: c.prefix[h], validUntil: validUntil, ok: ok}
+	if validUntil < c.searchValid {
+		c.searchValid = validUntil
+	}
+}
+
+// Hits returns the number of decisions-level test invocations served from the
+// cache so far.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Reset clears every memoized verdict and the hit counter; entries become
+// unreusable at any instant (validUntil −1 precedes every virtual time).
+func (c *Cache) Reset() {
+	for i := range c.entries {
+		c.entries[i] = verdictEntry{validUntil: -1}
+	}
+	c.hits = 0
+}
+
+// schedFixpoint runs the Algorithm-3 busy-interval iteration and returns the
+// verdict together with the fixpoint value cur and the deadline (both
+// relative to now) that passHorizon needs. It performs no counting; wrappers
+// account for the invocation.
+func schedFixpoint(states []PartitionState, h int, now vtime.Time, w vtime.Duration) (ok bool, cur, deadline vtime.Duration) {
+	s := &states[h]
+	var w0 vtime.Duration = w
+	if s.Active {
+		w0 += s.Remaining
+		deadline = s.NextReplenish.Sub(now)
+	} else {
+		deadline = s.NextReplenish.Add(s.Period).Sub(now)
+	}
+	for j := 0; j < h; j++ {
+		w0 += states[j].Remaining
+	}
+	if w0 > deadline {
+		return false, 0, deadline
+	}
+	cur = w0
+	for {
+		next := w0
+		for j := 0; j < h; j++ {
+			o := states[j].supplyTime().Sub(now)
+			next += vtime.Duration(vtime.CeilDiv(cur-o, states[j].Period)) * states[j].Budget
+		}
+		if !s.Active {
+			o := s.supplyTime().Sub(now)
+			next += vtime.Duration(vtime.CeilDiv(cur-o, s.Period)) * s.Budget
+		}
+		if next > deadline {
+			return false, cur, deadline
+		}
+		if next == cur {
+			return true, cur, deadline
+		}
+		cur = next
+	}
+}
+
+// passHorizon computes how far past now a passing verdict stays exact: the
+// minimum of the deadline slack (deadline − cur) and, over every stream the
+// test charges (hp(Π_h), plus Π_h's own when inactive), the gap from the
+// busy-interval end cur to that stream's next arrival at or after cur.
+func passHorizon(states []PartitionState, h int, now vtime.Time, cur, deadline vtime.Duration) vtime.Duration {
+	horizon := deadline - cur
+	for j := 0; j <= h; j++ {
+		if j == h && states[h].Active {
+			break
+		}
+		st := &states[j]
+		o := st.supplyTime().Sub(now)
+		// First stream arrival at or after cur: arrivals land at o + k·T_j and
+		// CeilDiv counts those strictly before cur.
+		arr := o + vtime.Duration(vtime.CeilDiv(cur-o, st.Period))*st.Period
+		if gap := arr - cur; gap < horizon {
+			horizon = gap
+		}
+	}
+	return horizon
+}
+
+// testVerdict is the cache-aware front end of SchedulabilityTest used by the
+// candidate search: with a nil cache it behaves identically to
+// SchedulabilityTest; with a cache it serves valid memoized verdicts and
+// memoizes fresh ones with their validity horizon. testsRun counts only
+// actual Algorithm-3 computations, never cache hits.
+func testVerdict(states []PartitionState, h int, now vtime.Time, w vtime.Duration, testsRun *int64, cache *Cache) bool {
+	if cache != nil {
+		if ok, hit := cache.lookup(h, now); hit {
+			return ok
+		}
+	}
+	if testsRun != nil {
+		*testsRun++
+	}
+	ok, cur, deadline := schedFixpoint(states, h, now, w)
+	if cache != nil {
+		validUntil := vtime.Infinity // FAIL holds for the rest of the epoch
+		if ok {
+			validUntil = now.Add(passHorizon(states, h, now, cur, deadline))
+		}
+		cache.store(h, ok, validUntil)
+	}
+	return ok
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"timedice/internal/vtime"
+)
+
+// twoPartStates builds a small two-partition snapshot at the given instant:
+// both active with budget remaining and periodic supply. The values are
+// loose enough that the verdict for either partition passes comfortably.
+func twoPartStates(now vtime.Time) []PartitionState {
+	return []PartitionState{
+		{Budget: vtime.MS(2), Period: vtime.MS(10), Remaining: vtime.MS(2),
+			NextReplenish: now.Add(vtime.MS(10)), Active: true, Runnable: true},
+		{Budget: vtime.MS(3), Period: vtime.MS(20), Remaining: vtime.MS(3),
+			NextReplenish: now.Add(vtime.MS(20)), Active: true, Runnable: true},
+	}
+}
+
+// TestCachePrefixStaleness pins the per-partition invalidation rule: a stamp
+// on partition j stales the cached verdict of every h >= j and leaves every
+// h < j untouched, because the verdict for h reads only partitions 0..h.
+func TestCachePrefixStaleness(t *testing.T) {
+	now := vtime.Time(0)
+	states := twoPartStates(now)
+	var c Cache
+
+	stamps := []uint64{1, 1}
+	c.begin(stamps, 2)
+	var tests int64
+	for h := 0; h < 2; h++ {
+		testVerdict(states, h, now, 0, &tests, &c)
+	}
+	if tests != 2 {
+		t.Fatalf("cold cache ran %d tests, want 2", tests)
+	}
+
+	// No new stamps: both verdicts must be served from cache.
+	c.begin(stamps, 2)
+	for h := 0; h < 2; h++ {
+		testVerdict(states, h, now, 0, &tests, &c)
+	}
+	if tests != 2 {
+		t.Fatalf("warm cache ran %d tests total, want still 2", tests)
+	}
+
+	// Stamp partition 1 only: verdict 0 stays cached, verdict 1 recomputes.
+	stamps[1] = 2
+	c.begin(stamps, 2)
+	for h := 0; h < 2; h++ {
+		testVerdict(states, h, now, 0, &tests, &c)
+	}
+	if tests != 3 {
+		t.Fatalf("after stamping partition 1: %d tests total, want 3 (only h=1 recomputes)", tests)
+	}
+
+	// Stamp partition 0: both verdicts read partition 0, both recompute.
+	stamps[0] = 3
+	c.begin(stamps, 2)
+	for h := 0; h < 2; h++ {
+		testVerdict(states, h, now, 0, &tests, &c)
+	}
+	if tests != 5 {
+		t.Fatalf("after stamping partition 0: %d tests total, want 5 (both recompute)", tests)
+	}
+}
+
+// TestCacheHorizonExpiry pins the temporal half of validity: with no stamp
+// movement at all, a PASS verdict is still only served while now is within
+// its computed validity horizon — after that the fixpoint must be rerun.
+func TestCacheHorizonExpiry(t *testing.T) {
+	now := vtime.Time(0)
+	states := twoPartStates(now)
+	var c Cache
+	stamps := []uint64{1, 1}
+
+	c.begin(stamps, 2)
+	var tests int64
+	ok := testVerdict(states, 1, now, 0, &tests, &c)
+	if !ok || tests != 1 {
+		t.Fatalf("cold verdict: ok=%v tests=%d, want pass in 1 test", ok, tests)
+	}
+	horizon := c.entries[1].validUntil
+	if horizon <= now || horizon == vtime.Infinity {
+		t.Fatalf("PASS validity horizon = %v, want finite instant after now", horizon)
+	}
+
+	// One instant before the horizon: still a hit.
+	c.begin(stamps, 2)
+	testVerdict(states, 1, horizon-1, 0, &tests, &c)
+	if tests != 1 {
+		t.Fatalf("within horizon: %d tests total, want still 1", tests)
+	}
+	// The horizon instant itself is inclusive.
+	c.begin(stamps, 2)
+	testVerdict(states, 1, horizon, 0, &tests, &c)
+	if tests != 1 {
+		t.Fatalf("at horizon: %d tests total, want still 1", tests)
+	}
+	// Past it: recompute.
+	c.begin(stamps, 2)
+	testVerdict(states, 1, horizon+1, 0, &tests, &c)
+	if tests != 2 {
+		t.Fatalf("past horizon: %d tests total, want 2", tests)
+	}
+}
+
+// TestCacheFailForever pins the FAIL rule: a failing verdict only becomes
+// stale through invalidation, never through the passage of time, because the
+// busy interval can only grow as time advances within an epoch.
+func TestCacheFailForever(t *testing.T) {
+	now := vtime.Time(0)
+	states := twoPartStates(now)
+	// Make partition 1 hopeless: deadline before its own remaining budget
+	// plus the higher-priority interference can complete.
+	states[1].NextReplenish = now.Add(vtime.MS(4))
+
+	var c Cache
+	stamps := []uint64{1, 1}
+	c.begin(stamps, 2)
+	var tests int64
+	if ok := testVerdict(states, 1, now, 0, &tests, &c); ok {
+		t.Fatal("verdict unexpectedly passed; fixture needs a tighter deadline")
+	}
+	if got := c.entries[1].validUntil; got != vtime.Infinity {
+		t.Fatalf("FAIL validUntil = %v, want Infinity", got)
+	}
+
+	// Arbitrarily far in the future, same epoch: still served from cache.
+	c.begin(stamps, 2)
+	testVerdict(states, 1, now.Add(vtime.MS(1_000_000)), 0, &tests, &c)
+	if tests != 1 {
+		t.Fatalf("far-future FAIL lookup ran %d tests total, want still 1", tests)
+	}
+
+	// A stamp anywhere in 0..1 drops it.
+	stamps[0] = 2
+	c.begin(stamps, 2)
+	testVerdict(states, 1, now, 0, &tests, &c)
+	if tests != 2 {
+		t.Fatalf("after stamp: %d tests total, want 2", tests)
+	}
+}

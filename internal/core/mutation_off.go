@@ -1,0 +1,12 @@
+//go:build !timedice_mutation
+
+package core
+
+// cacheIgnoresInvalidation is the mutation-testing hook for the verdict
+// cache: normal builds honour the per-partition state stamps, so any
+// discontinuous change (release, completion, depletion, replenishment,
+// sporadic chunk) recomputes the affected verdicts. Building with
+// -tags timedice_mutation makes lookup skip the stamp comparison (see
+// mutation_on.go), an injected staleness bug that the cached-vs-uncached
+// differential digest test must detect end-to-end.
+const cacheIgnoresInvalidation = false

@@ -84,47 +84,15 @@ func (s *PartitionState) supplyTime() vtime.Time {
 // the interference, per the indirect-interference extension.
 //
 // testsRun, when non-nil, is incremented once (for overhead accounting).
+//
+// The busy-interval iteration lives in schedFixpoint (cache.go), shared with
+// the verdict-caching front end testVerdict.
 func SchedulabilityTest(states []PartitionState, h int, now vtime.Time, w vtime.Duration, testsRun *int64) bool {
 	if testsRun != nil {
 		*testsRun++
 	}
-	s := &states[h]
-
-	// Everything below is relative to now, in Durations.
-	var w0 vtime.Duration = w
-	var deadline vtime.Duration
-	if s.Active {
-		w0 += s.Remaining
-		deadline = s.NextReplenish.Sub(now)
-	} else {
-		deadline = s.NextReplenish.Add(s.Period).Sub(now)
-	}
-	for j := 0; j < h; j++ {
-		w0 += states[j].Remaining
-	}
-	if w0 > deadline {
-		return false
-	}
-
-	cur := w0
-	for {
-		next := w0
-		for j := 0; j < h; j++ {
-			o := states[j].supplyTime().Sub(now)
-			next += vtime.Duration(vtime.CeilDiv(cur-o, states[j].Period)) * states[j].Budget
-		}
-		if !s.Active {
-			o := s.supplyTime().Sub(now)
-			next += vtime.Duration(vtime.CeilDiv(cur-o, s.Period)) * s.Budget
-		}
-		if next > deadline {
-			return false
-		}
-		if next == cur {
-			return true
-		}
-		cur = next
-	}
+	ok, _, _ := schedFixpoint(states, h, now, w)
+	return ok
 }
 
 // SearchResult is the outcome of one candidate search.
@@ -149,6 +117,14 @@ type SearchResult struct {
 // The scratch slice, when non-nil, is reused for the candidate list to avoid
 // per-decision allocation.
 func CandidateSearch(states []PartitionState, now vtime.Time, w vtime.Duration, scratch []int) SearchResult {
+	return candidateSearch(states, now, w, scratch, nil)
+}
+
+// candidateSearch is CandidateSearch with an optional verdict cache: every
+// schedulability test goes through testVerdict, which serves still-valid
+// memoized verdicts without recomputation. With a nil cache the search is the
+// uncached reference used by the differential digest pin.
+func candidateSearch(states []PartitionState, now vtime.Time, w vtime.Duration, scratch []int, cache *Cache) SearchResult {
 	res := SearchResult{Candidates: scratch[:0]}
 	examined := 0 // states[0:examined] have passed a schedulability test
 	first := true
@@ -169,7 +145,7 @@ func CandidateSearch(states []PartitionState, now vtime.Time, w vtime.Duration, 
 		}
 		ok := true
 		for h := examined; h < i; h++ {
-			if !SchedulabilityTest(states, h, now, w, &res.Tests) {
+			if !testVerdict(states, h, now, w, &res.Tests, cache) {
 				ok = false
 				break
 			}
@@ -191,7 +167,7 @@ func CandidateSearch(states []PartitionState, now vtime.Time, w vtime.Duration, 
 	// remaining partition must pass.
 	idleOK := true
 	for h := examined; h < len(states); h++ {
-		if !SchedulabilityTest(states, h, now, w, &res.Tests) {
+		if !testVerdict(states, h, now, w, &res.Tests, cache) {
 			idleOK = false
 			break
 		}
@@ -279,7 +255,9 @@ func Select(states []PartitionState, res SearchResult, now vtime.Time, mode Sele
 // (Table IV, Fig. 17).
 type Stats struct {
 	Decisions     int64
-	SchedTests    int64
+	SchedTests    int64 // Algorithm-3 computations actually performed
+	CacheHits     int64 // test invocations served by the verdict cache
+	SearchReuses  int64 // decisions whose whole candidate search was reused
 	CandidateSum  int64 // Σ candidate-list sizes, for the mean
 	IdleEligible  int64 // decisions where idling was a candidate
 	IdleSelected  int64
@@ -296,6 +274,18 @@ type Policy struct {
 	states  []PartitionState
 	scratch []int
 	weights []float64
+	cache   *Cache // nil when the verdict cache is disabled
+
+	// Decision-level search reuse: while no partition has been stamped since
+	// the last full search (searchStamp) and now is within the minimum
+	// validity horizon of every verdict that search consulted (searchValid),
+	// the candidate list in scratch and searchIdle are exactly what a fresh
+	// search would produce, so Pick skips the snapshot and search and goes
+	// straight to selection on live weights.
+	searchInit  bool
+	searchIdle  bool
+	searchStamp uint64
+	searchValid vtime.Time
 
 	lastCandidates int64
 	lastTests      int64
@@ -325,9 +315,25 @@ func WithRand(r *rng.Rand) Option {
 	return func(p *Policy) { p.rnd = r }
 }
 
+// WithVerdictCache enables or disables the incremental verdict cache
+// (enabled by default). Disabling it recomputes every schedulability test
+// from scratch — the reference behaviour the differential digest pin
+// compares against; the schedules are identical either way.
+func WithVerdictCache(on bool) Option {
+	return func(p *Policy) {
+		if on {
+			if p.cache == nil {
+				p.cache = &Cache{}
+			}
+		} else {
+			p.cache = nil
+		}
+	}
+}
+
 // NewPolicy builds a TimeDice policy (TimeDiceW unless configured otherwise).
 func NewPolicy(opts ...Option) *Policy {
-	p := &Policy{quantum: DefaultQuantum, mode: SelectWeighted}
+	p := &Policy{quantum: DefaultQuantum, mode: SelectWeighted, cache: &Cache{}}
 	for _, o := range opts {
 		o(p)
 	}
@@ -346,7 +352,13 @@ func (p *Policy) Name() string {
 func (p *Policy) Quantum() vtime.Duration { return p.quantum }
 
 // Stats returns the accumulated counters.
-func (p *Policy) Stats() Stats { return p.stats }
+func (p *Policy) Stats() Stats {
+	st := p.stats
+	if p.cache != nil {
+		st.CacheHits = p.cache.Hits()
+	}
+	return st
+}
 
 // DecisionDetail implements engine.DecisionDetailer: the candidate-set size
 // and schedulability tests of the most recent Pick.
@@ -355,7 +367,29 @@ func (p *Policy) DecisionDetail() (candidates, tests int64) {
 }
 
 // ResetStats zeroes the counters.
-func (p *Policy) ResetStats() { p.stats = Stats{} }
+func (p *Policy) ResetStats() {
+	p.stats = Stats{}
+	if p.cache != nil {
+		p.cache.hits = 0
+	}
+}
+
+// Reset restores the policy to its initial state — counters zeroed, every
+// cached verdict dropped, scratch capacity retained — so a reused policy is
+// indistinguishable from a freshly constructed one. The engine's
+// System.Reset calls it automatically; the policy's random stream (WithRand)
+// is owned by the caller and must be reseeded separately.
+func (p *Policy) Reset() {
+	p.ResetStats()
+	p.lastCandidates, p.lastTests = 0, 0
+	p.searchInit = false
+	p.searchIdle = false
+	p.searchStamp = 0
+	p.searchValid = 0
+	if p.cache != nil {
+		p.cache.Reset()
+	}
+}
 
 // Snapshot fills states (reusing its backing array) with the current view of
 // the system's partitions in priority order.
@@ -376,6 +410,45 @@ func Snapshot(sys *engine.System, states []PartitionState) []PartitionState {
 	return states
 }
 
+// searchReusable reports whether the previous decision's candidate search is
+// still exact at now, and returns the current maximum state stamp either way.
+// Under the timedice_mutation tag the stamp comparison is skipped, mirroring
+// the entry-level mutation (see mutation_on.go).
+func (p *Policy) searchReusable(sys *engine.System, now vtime.Time) (bool, uint64) {
+	stamps := sys.StateStamps()
+	var m uint64
+	for _, s := range stamps {
+		if s > m {
+			m = s
+		}
+	}
+	if p.cache == nil || !p.searchInit || len(p.states) != len(sys.Partitions) {
+		return false, m
+	}
+	return (cacheIgnoresInvalidation || m == p.searchStamp) && now <= p.searchValid, m
+}
+
+// refreshStates updates the policy's persistent snapshot in place, writing
+// only the fields that change between decisions; Budget and Period are
+// constants filled by the initial full Snapshot.
+func (p *Policy) refreshStates(sys *engine.System) {
+	parts := sys.Partitions
+	if len(p.states) != len(parts) {
+		p.states = Snapshot(sys, p.states[:0])
+		return
+	}
+	for i, part := range parts {
+		srv := part.Server
+		st := &p.states[i]
+		rem := srv.Remaining()
+		st.Remaining = rem
+		st.NextReplenish = srv.Deadline()
+		st.NextSupply = srv.NextReplenish()
+		st.Active = rem > 0
+		st.Runnable = rem > 0 && part.Local.HasReady()
+	}
+}
+
 // Pick implements engine.GlobalPolicy: one full TimeDice decision.
 func (p *Policy) Pick(sys *engine.System, now vtime.Time) *partition.Partition {
 	rnd := p.rnd
@@ -383,10 +456,33 @@ func (p *Policy) Pick(sys *engine.System, now vtime.Time) *partition.Partition {
 		rnd = sys.Rand
 	}
 	p.stats.Decisions++
-	p.states = Snapshot(sys, p.states)
 
-	res := CandidateSearch(p.states, now, p.quantum, p.scratch)
-	p.scratch = res.Candidates
+	var res SearchResult
+	if reuse, maxStamp := p.searchReusable(sys, now); reuse {
+		// Refresh only what selection reads — the draining budget and the
+		// deadline gap of each candidate; verdicts and runnable flags are
+		// unchanged by construction.
+		for _, i := range p.scratch {
+			srv := sys.Partitions[i].Server
+			p.states[i].Remaining = srv.Remaining()
+			p.states[i].NextReplenish = srv.Deadline()
+		}
+		res = SearchResult{Candidates: p.scratch, IdleOK: p.searchIdle}
+		p.stats.SearchReuses++
+	} else {
+		p.refreshStates(sys)
+		if p.cache != nil {
+			p.cache.begin(sys.StateStamps(), len(p.states))
+		}
+		res = candidateSearch(p.states, now, p.quantum, p.scratch, p.cache)
+		p.scratch = res.Candidates
+		if p.cache != nil {
+			p.searchInit = true
+			p.searchIdle = res.IdleOK
+			p.searchStamp = maxStamp
+			p.searchValid = p.cache.searchValid
+		}
+	}
 	p.stats.SchedTests += res.Tests
 	p.stats.CandidateSum += int64(len(res.Candidates))
 	p.lastCandidates, p.lastTests = int64(len(res.Candidates)), res.Tests

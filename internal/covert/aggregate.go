@@ -2,9 +2,8 @@ package covert
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"timedice/internal/experiments/runner"
 	"timedice/internal/ml"
 	"timedice/internal/stats"
 )
@@ -28,69 +27,38 @@ func (a *Aggregate) String() string {
 // RunSeeds executes the experiment once per seed and aggregates the channel
 // metrics, for statistically robust comparisons across policies. Each run is
 // fully independent (noise, selection, and test bits all derive from the
-// seed).
+// seed). The trials run sequentially on one reused Harness, so only the
+// first trial pays for system construction.
 func RunSeeds(cfg Config, seeds []uint64, vecTrainers ...ml.Trainer) (*Aggregate, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("covert: RunSeeds needs at least one seed")
-	}
-	results := make([]*Result, len(seeds))
-	for i, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		res, err := Run(c, vecTrainers...)
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seed, err)
-		}
-		results[i] = res
-	}
-	return aggregate(results), nil
+	return runSeeds(cfg, seeds, 1, vecTrainers)
 }
 
 // RunSeedsParallel is RunSeeds with the independent runs spread across a
 // bounded worker pool (each simulation is single-threaded and owns all of
 // its state, so runs parallelize perfectly). workers ≤ 0 uses GOMAXPROCS.
-// The aggregate is identical to RunSeeds' for the same seeds: results are
-// folded in seed order.
+// Each worker reuses its own Harness across the trials it claims. The
+// aggregate is identical to RunSeeds' for the same seeds: a reused Harness
+// replays a fresh run bit for bit, and results are folded in seed order.
 func RunSeedsParallel(cfg Config, seeds []uint64, workers int, vecTrainers ...ml.Trainer) (*Aggregate, error) {
-	if len(seeds) == 0 {
-		return nil, fmt.Errorf("covert: RunSeedsParallel needs at least one seed")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(seeds) {
-		workers = len(seeds)
-	}
+	return runSeeds(cfg, seeds, workers, vecTrainers)
+}
 
-	results := make([]*Result, len(seeds))
-	errs := make([]error, len(seeds))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				c := cfg
-				c.Seed = seeds[i]
-				res, err := Run(c, vecTrainers...)
-				if err != nil {
-					errs[i] = fmt.Errorf("seed %d: %w", seeds[i], err)
-					continue
-				}
-				results[i] = res
+func runSeeds(cfg Config, seeds []uint64, workers int, vecTrainers []ml.Trainer) (*Aggregate, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("covert: RunSeeds needs at least one seed")
+	}
+	results, err := runner.MapPooled(workers,
+		func() (*Harness, error) { return NewHarness(cfg) },
+		seeds,
+		func(h *Harness, _ int, seed uint64) (*Result, error) {
+			res, err := h.Run(seed, vecTrainers...)
+			if err != nil {
+				return nil, fmt.Errorf("seed %d: %w", seed, err)
 			}
-		}()
-	}
-	for i := range seeds {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return aggregate(results), nil
 }

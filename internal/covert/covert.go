@@ -221,40 +221,22 @@ type Result struct {
 // instrumentation, simulate warmup+profile+test, then decode. vecTrainers,
 // when non-empty, are trained on the profile-phase vectors and evaluated on
 // the test phase (the §III-d learning-based approach).
+//
+// Run is the one-shot form of the trial Harness: campaigns that sweep many
+// seeds over one configuration should build a Harness (or use RunSeeds,
+// which does) and reuse it instead of reconstructing the system per trial.
 func Run(cfg Config, vecTrainers ...ml.Trainer) (*Result, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
-	}
-	spec := cfg.Spec
-	root := rng.New(cfg.Seed)
-	bitRand := root.Split()
-	noiseRand := root.Split()
-	policyRand := root.Split()
-
-	totalWindows := cfg.WarmupWindows + cfg.ProfileWindows + cfg.TestWindows
-	symbols := makeSymbols(cfg, bitRand, totalWindows)
-
-	built, chans, err := instrument(cfg, spec, symbols, noiseRand)
+	h, err := NewHarness(cfg)
 	if err != nil {
 		return nil, err
 	}
-	pol, err := policies.Build(cfg.Policy, built.Partitions, policies.Options{Quantum: cfg.Quantum})
-	if err != nil {
-		return nil, err
-	}
-	sys, err := engine.New(built.Partitions, pol, policyRand)
-	if err != nil {
-		return nil, err
-	}
-	chans.install(sys)
+	return h.Run(h.cfg.Seed, vecTrainers...)
+}
 
-	// Simulate long enough for the last test window's response to land;
-	// responses can spill a few windows past their arrival.
-	horizon := vtime.Time(0).Add(vtime.Duration(totalWindows+8) * cfg.Window)
-	sys.Run(horizon)
-
+// decode turns one simulated trial's collected windows into a Result.
+func decode(cfg Config, cs *channelState, symbols []int, vecTrainers []ml.Trainer) (*Result, error) {
 	res := &Result{Config: cfg, VecAccuracy: make(map[string]float64)}
-	res.Profile, res.Test = chans.observations(cfg, symbols)
+	res.Profile, res.Test = cs.observations(cfg, symbols)
 	if len(res.Profile) == 0 || len(res.Test) == 0 {
 		return nil, fmt.Errorf("covert: no observations collected (profile=%d test=%d)", len(res.Profile), len(res.Test))
 	}
@@ -297,10 +279,19 @@ func Run(cfg Config, vecTrainers ...ml.Trainer) (*Result, error) {
 // phase instead of the sender's signal. Block-shuffling makes every level
 // sample every ambient phase.
 func makeSymbols(cfg Config, r *rng.Rand, total int) []int {
+	symbols := make([]int, total)
+	fillSymbols(cfg, r, symbols)
+	return symbols
+}
+
+// fillSymbols writes the per-window symbol sequence into an existing slice,
+// so a reused Harness can redraw a trial's symbols without reallocating (the
+// sender's modulation closure captures the slice's backing array).
+func fillSymbols(cfg Config, r *rng.Rand, symbols []int) {
+	total := len(symbols)
 	// The permutation stream is part of the channel protocol: fixed seed,
 	// independent of the experiment's noise/selection randomness.
 	proto := rng.New(0x7a11eb0a ^ uint64(cfg.Levels))
-	symbols := make([]int, total)
 	block := make([]int, cfg.Levels)
 	for w := 0; w < total; w++ {
 		switch {
@@ -330,7 +321,6 @@ func makeSymbols(cfg Config, r *rng.Rand, total int) []int {
 			}
 		}
 	}
-	return symbols
 }
 
 // capacity estimates the channel capacity from the test observations with
@@ -386,6 +376,25 @@ type channelState struct {
 	vectors    [][]float64
 	receiverTk *task.Task
 	sched      *task.Scheduler
+	// noiseSplits retains, in creation order, every generator split off the
+	// noise stream during instrumentation (shuffle hooks first, then noise
+	// tasks). A reused Harness reseeds them in this exact order to replay a
+	// fresh run's split sequence.
+	noiseSplits []*rng.Rand
+}
+
+// resetBuffers clears the per-trial observation state so the instrumented
+// system can run another trial.
+func (cs *channelState) resetBuffers() {
+	for i := range cs.responses {
+		cs.responses[i] = 0
+		cs.haveResp[i] = false
+	}
+	for _, v := range cs.vectors {
+		for i := range v {
+			v[i] = 0
+		}
+	}
 }
 
 // instrument replaces the sender's and receiver's task sets with the channel
@@ -488,6 +497,7 @@ func instrument(cfg Config, spec model.SystemSpec, symbols []int, noise *rng.Ran
 	if cfg.ShuffleLocal {
 		for _, ps := range spec.Partitions {
 			sr := noise.Split()
+			cs.noiseSplits = append(cs.noiseSplits, sr)
 			built.Sched[ps.Name].Shuffle = sr.Intn
 		}
 	}
@@ -503,6 +513,7 @@ func instrument(cfg Config, spec model.SystemSpec, symbols []int, noise *rng.Ran
 				t := built.Task[model.TaskKey(ps.Name, ts.Name)]
 				wcet, period := t.WCET, t.Period
 				nr := noise.Split()
+				cs.noiseSplits = append(cs.noiseSplits, nr)
 				t.ExecFn = func(int64, vtime.Time) vtime.Duration {
 					// Execution varies downward (WCET is the upper bound).
 					return vtime.Duration(float64(wcet) * (1 - frac*nr.Float64()))

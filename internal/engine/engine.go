@@ -18,6 +18,7 @@ import (
 
 	"timedice/internal/partition"
 	"timedice/internal/rng"
+	"timedice/internal/server"
 	"timedice/internal/task"
 	"timedice/internal/telemetry"
 	"timedice/internal/vtime"
@@ -127,6 +128,16 @@ type System struct {
 	// runnableBuf is the reusable backing array for Runnable.
 	runnableBuf []*partition.Partition
 
+	// epoch and stamps drive the incremental schedulability-verdict cache
+	// (core.Cache). epoch counts discontinuous state changes; stamps[i] is the
+	// epoch value at partition i's most recent one — job release, completion,
+	// budget depletion, replenishment delivery, a silent period-boundary
+	// advance, or a sporadic server scheduling a future supply chunk. Between
+	// stamps a partition's scheduling state evolves only by the passage of
+	// time (budget draining while it runs), which cached verdicts account for.
+	epoch  uint64
+	stamps []uint64
+
 	sink     telemetry.Sink // nil ⇒ telemetry disabled (fast path)
 	invOpen  bool           // an inversion window is currently open
 	invStart vtime.Time
@@ -171,6 +182,7 @@ func New(parts []*partition.Partition, policy GlobalPolicy, rnd *rng.Rand) (*Sys
 		perPart:     make([]vtime.Duration, len(ordered)),
 		nextEv:      make([]vtime.Time, len(ordered)),
 		runnableBuf: make([]*partition.Partition, 0, len(ordered)),
+		stamps:      make([]uint64, len(ordered)),
 	}
 	// The lifecycle observers are installed unconditionally: they maintain
 	// the always-on Counters (deadline misses) and forward to the telemetry
@@ -205,6 +217,7 @@ var (
 )
 
 func (o *partObserver) JobReleased(j *task.Job) {
+	o.sys.bumpStamp(o.part)
 	if sink := o.sys.sink; sink != nil {
 		sink.Event(telemetry.Event{
 			Time: j.Arrival, Kind: telemetry.KindTaskArrival,
@@ -236,6 +249,7 @@ func (o *partObserver) JobPreempted(j *task.Job, at vtime.Time) {
 }
 
 func (o *partObserver) JobCompleted(c task.Completion) {
+	o.sys.bumpStamp(o.part)
 	lateness := c.Response - c.Job.Task.EffectiveDeadline()
 	if lateness > 0 {
 		o.sys.Counters.DeadlineMisses++
@@ -257,6 +271,7 @@ func (o *partObserver) JobCompleted(c task.Completion) {
 }
 
 func (o *partObserver) Replenished(at vtime.Time, amount, remaining vtime.Duration) {
+	o.sys.bumpStamp(o.part)
 	if sink := o.sys.sink; sink != nil {
 		sink.Event(telemetry.Event{
 			Time: at, Kind: telemetry.KindBudgetReplenish,
@@ -266,6 +281,7 @@ func (o *partObserver) Replenished(at vtime.Time, amount, remaining vtime.Durati
 }
 
 func (o *partObserver) Depleted(at vtime.Time, discarded vtime.Duration) {
+	o.sys.bumpStamp(o.part)
 	if sink := o.sys.sink; sink != nil {
 		var aux int64
 		if discarded > 0 {
@@ -276,6 +292,17 @@ func (o *partObserver) Depleted(at vtime.Time, discarded vtime.Duration) {
 			Partition: o.part, Dur: discarded, Aux: aux,
 		})
 	}
+}
+
+// StateStamps returns the per-partition state stamps (see the field doc), in
+// the same priority order as Partitions. The slice is owned by the System:
+// read-only, valid until the next step.
+func (s *System) StateStamps() []uint64 { return s.stamps }
+
+// bumpStamp records a discontinuous state change on partition i.
+func (s *System) bumpStamp(i int) {
+	s.epoch++
+	s.stamps[i] = s.epoch
 }
 
 // Now returns the current simulated instant.
@@ -320,6 +347,11 @@ func (s *System) step(until vtime.Time) {
 	// and skipped — nothing is due for them.
 	for i, p := range s.Partitions {
 		if s.nextEv[i] <= now {
+			// Delivery can change the partition's replenishment anchors even
+			// without firing an observer callback (a boundary advance that
+			// restores an already-full budget), so the stamp bump is
+			// unconditional here.
+			s.bumpStamp(i)
 			p.Server.AdvanceTo(now)
 			p.Local.ReleaseUpTo(now)
 			s.nextEv[i] = p.NextLocalEvent()
@@ -416,6 +448,14 @@ func (s *System) step(until vtime.Time) {
 		pick.Server.Consume(now, used)
 		// Consuming budget schedules the replacement replenishment, so the
 		// executed partition's next event may have moved; refresh its cache.
+		// For a sporadic server the consumption also queues a future supply
+		// chunk, which shifts the partition's supply stream mid-epoch — a
+		// discontinuous change the verdict cache must observe. Plain budget
+		// draining on the other policies is the time-monotone evolution cached
+		// verdicts already account for, so no stamp is needed there.
+		if used > 0 && pick.Server.PolicyKind() == server.Sporadic {
+			s.bumpStamp(pick.Index)
+		}
 		s.nextEv[pick.Index] = pick.NextLocalEvent()
 		s.perPart[pick.Index] += used
 		s.Counters.BusyTime += used
@@ -524,8 +564,19 @@ func (s *System) FlushTelemetry() {
 	}
 }
 
+// PolicyResetter is the optional extension a global policy implements to
+// participate in deterministic system reuse: Reset must restore the policy's
+// initial state (counters, caches) while retaining scratch capacity.
+// core.Policy implements it; the stateless policies don't need to.
+type PolicyResetter interface {
+	Reset()
+}
+
 // Reset restores the system to its initial state: time zero, full budgets,
-// no pending jobs, zeroed counters. The policy and RNG are kept as-is.
+// no pending jobs, zeroed counters, and — when the policy implements
+// PolicyResetter — a reset policy. Buffers everywhere retain their capacity,
+// so a reset system replays a trial without allocating. The RNG is kept
+// as-is; use ResetSeed to rewind it too.
 func (s *System) Reset() {
 	for _, p := range s.Partitions {
 		p.Reset()
@@ -535,8 +586,21 @@ func (s *System) Reset() {
 	s.Counters = Counters{}
 	s.invOpen = false
 	s.invStart = 0
+	s.epoch = 0
 	for i := range s.perPart {
 		s.perPart[i] = 0
 		s.nextEv[i] = 0
+		s.stamps[i] = 0
 	}
+	if pr, ok := s.Policy.(PolicyResetter); ok {
+		pr.Reset()
+	}
+}
+
+// ResetSeed is Reset plus reseeding the system RNG, making the reused system
+// bit-for-bit equivalent to a freshly constructed one with that seed: same
+// schedule, same telemetry digests, no construction allocations.
+func (s *System) ResetSeed(seed uint64) {
+	s.Reset()
+	s.Rand.Seed(seed)
 }

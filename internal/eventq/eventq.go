@@ -55,14 +55,16 @@ func (q *Queue[T]) Pop() (at vtime.Time, val T, ok bool) {
 	return top.at, top.val, true
 }
 
-// PopUntil removes and returns all events with timestamp <= t, in order.
-func (q *Queue[T]) PopUntil(t vtime.Time) []T {
-	var out []T
+// PopUntil removes all events with timestamp <= t and appends them, in
+// order, to buf, returning the extended slice. Callers on hot paths pass a
+// retained scratch slice (`buf[:0]`) so the drain is allocation-free once the
+// scratch has grown to the queue's high-water mark.
+func (q *Queue[T]) PopUntil(t vtime.Time, buf []T) []T {
 	for len(q.items) > 0 && q.items[0].at <= t {
 		_, v, _ := q.Pop()
-		out = append(out, v)
+		buf = append(buf, v)
 	}
-	return out
+	return buf
 }
 
 // Reset discards all pending events.

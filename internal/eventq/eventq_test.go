@@ -54,7 +54,7 @@ func TestPopUntil(t *testing.T) {
 	for i := 1; i <= 10; i++ {
 		q.Push(vtime.Time(i*10), i)
 	}
-	got := q.PopUntil(vtime.Time(35))
+	got := q.PopUntil(vtime.Time(35), nil)
 	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
 		t.Fatalf("PopUntil(35) = %v", got)
 	}
@@ -63,6 +63,37 @@ func TestPopUntil(t *testing.T) {
 	}
 	if q.PeekTime() != vtime.Time(40) {
 		t.Errorf("next at %v, want 40us", q.PeekTime())
+	}
+}
+
+// TestPopUntilAppendsToScratch pins the scratch-slice contract: draining into
+// a retained buffer with enough capacity performs zero allocations, and the
+// drained events land after any existing elements.
+func TestPopUntilAppendsToScratch(t *testing.T) {
+	var q Queue[int]
+	buf := make([]int, 0, 16)
+	buf = append(buf, -1)
+	for i := 1; i <= 5; i++ {
+		q.Push(vtime.Time(i), i)
+	}
+	buf = q.PopUntil(vtime.Time(3), buf)
+	if len(buf) != 4 || buf[0] != -1 || buf[1] != 1 || buf[3] != 3 {
+		t.Fatalf("PopUntil appended wrong contents: %v", buf)
+	}
+
+	var q2 Queue[int]
+	scratch := make([]int, 0, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 1; i <= 8; i++ {
+			q2.Push(vtime.Time(i), i)
+		}
+		scratch = q2.PopUntil(vtime.Time(8), scratch[:0])
+		if len(scratch) != 8 {
+			t.Fatal("drain lost events")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PopUntil into warmed scratch allocates %.1f times, want 0", allocs)
 	}
 }
 

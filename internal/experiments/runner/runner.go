@@ -97,6 +97,105 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 	return out, nil
 }
 
+// MapPooled is Map for trials that amortize expensive per-worker state: each
+// worker calls newState once when it starts and threads that state through
+// every trial it claims. The canonical state is a reusable simulation harness
+// (built system + buffers) that each trial resets and reruns instead of
+// reconstructing. fn must leave the state ready for the next trial; states
+// are never shared between workers, so fn needs no locking around them. The
+// pool semantics match Map exactly: results in input order, first-error-wins
+// with index tie-breaking, panics contained (in newState too), sequential
+// fast path for one worker.
+func MapPooled[S, T, R any](workers int, newState func() (S, error), items []T, fn func(st S, i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	w := Workers(workers)
+	if w > len(items) {
+		w = len(items)
+	}
+	if w <= 1 {
+		st, err := safeNew(newState)
+		if err != nil {
+			return nil, err
+		}
+		for i, item := range items {
+			r, err := safeCallPooled(fn, st, i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = -1
+	)
+	fail := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	for range w {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := safeNew(newState)
+			if err != nil {
+				// Attribute state-construction failure to the next unclaimed
+				// index so a deterministic first trial still wins ties.
+				fail(int(next.Load()), err)
+				return
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || failed.Load() {
+					return
+				}
+				r, err := safeCallPooled(fn, st, i, items[i])
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// safeNew builds one worker's state, containing panics like safeCall does.
+func safeNew[S any](newState func() (S, error)) (st S, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: worker state construction panicked: %v\n%s", p, debug.Stack())
+		}
+	}()
+	return newState()
+}
+
+// safeCallPooled is safeCall for stateful trials.
+func safeCallPooled[S, T, R any](fn func(S, int, T) (R, error), st S, i int, item T) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: trial %d panicked: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	return fn(st, i, item)
+}
+
 // safeCall invokes one trial, converting a panic into that trial's error so
 // the first-error-wins machinery cancels and drains the pool instead of the
 // process dying inside a worker goroutine.

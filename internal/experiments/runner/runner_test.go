@@ -178,3 +178,72 @@ func TestDoPanicRecovered(t *testing.T) {
 func contains(s, sub string) bool {
 	return len(s) >= len(sub) && strings.Contains(s, sub)
 }
+
+// poolState is a MapPooled worker state that records which trials it served,
+// proving state reuse within a worker and isolation between workers.
+type poolState struct {
+	id     int64
+	served int
+}
+
+func TestMapPooledReusesPerWorkerState(t *testing.T) {
+	items := make([]int, 60)
+	for i := range items {
+		items[i] = i
+	}
+	var states atomic.Int64
+	newState := func() (*poolState, error) {
+		return &poolState{id: states.Add(1)}, nil
+	}
+	for _, workers := range []int{1, 4} {
+		states.Store(0)
+		out, err := MapPooled(workers, newState, items, func(st *poolState, i int, item int) (int, error) {
+			st.served++
+			return item * item, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range out {
+			if r != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+		if built := int(states.Load()); built > workers || built == 0 {
+			t.Errorf("workers=%d: built %d states", workers, built)
+		}
+	}
+}
+
+func TestMapPooledStateError(t *testing.T) {
+	boom := errors.New("no state")
+	_, err := MapPooled(3, func() (int, error) { return 0, boom }, []int{1, 2, 3},
+		func(st, i, item int) (int, error) { return item, nil })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestMapPooledTrialErrorAndPanic(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	newState := func() (int, error) { return 0, nil }
+	wantErr := errors.New("trial failed")
+	_, err := MapPooled(2, newState, items, func(st, i, item int) (int, error) {
+		if item == 3 {
+			return 0, wantErr
+		}
+		return item, nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want %v", err, wantErr)
+	}
+	_, err = MapPooled(2, newState, items, func(st, i, item int) (int, error) {
+		if item == 2 {
+			panic("kaboom")
+		}
+		return item, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("panic not contained: %v", err)
+	}
+}

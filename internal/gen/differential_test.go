@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"testing"
+
+	"timedice/internal/experiments/runner"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+)
+
+// diffOptions narrows the sampling space to the TimeDice policies: the
+// verdict cache only exists there, so NoRandom scenarios would compare a
+// policy against itself.
+func diffOptions() Options {
+	opts := DefaultOptions()
+	opts.Policies = []policies.Kind{policies.TimeDiceU, policies.TimeDiceW}
+	return opts
+}
+
+// diffScenarios draws n scenarios from one seed for the differential tests.
+func diffScenarios(n int, seed uint64) []Scenario {
+	r := rng.New(seed)
+	opts := diffOptions()
+	scs := make([]Scenario, n)
+	for i := range scs {
+		scs[i] = Generate(r, opts)
+	}
+	return scs
+}
+
+// TestCachedUncachedDigestsMatch is the exactness proof for the incremental
+// schedulability-verdict cache: over a large corpus of generated scenarios,
+// running with the cache enabled and disabled must produce byte-identical
+// event streams (compared by digest) and identical oracle verdicts. Any
+// unsound cache hit — a stale verdict served
+// past its validity horizon or across an invalidation — flips at least one
+// scheduling decision and shows up as a digest mismatch.
+func TestCachedUncachedDigestsMatch(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 150
+	}
+	scs := diffScenarios(n, 0xd1ce)
+	_, err := runner.Map(0, scs, func(i int, sc Scenario) (struct{}, error) {
+		cached, err := Run(sc)
+		if err != nil {
+			t.Errorf("scenario %d cached: %v", i, err)
+			return struct{}{}, nil
+		}
+		uncached, err := RunUncached(sc)
+		if err != nil {
+			t.Errorf("scenario %d uncached: %v", i, err)
+			return struct{}{}, nil
+		}
+		if cd, ud := cached.Digest(), uncached.Digest(); cd != ud {
+			enc, _ := Encode(sc)
+			t.Errorf("scenario %d: cached digest %#x != uncached %#x\nscenario: %s", i, cd, ud, enc)
+		}
+		_, cv := cached.Violations()
+		_, uv := uncached.Violations()
+		if cv != uv {
+			t.Errorf("scenario %d: cached %d violations, uncached %d", i, cv, uv)
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

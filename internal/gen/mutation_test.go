@@ -1,0 +1,51 @@
+//go:build timedice_mutation
+
+package gen
+
+import (
+	"testing"
+
+	"timedice/internal/experiments/runner"
+)
+
+// TestCacheMutationCaught proves the differential digest test has teeth
+// against the cache-invalidation mutant: built with -tags timedice_mutation,
+// core.Cache.lookup ignores the per-partition state stamps and serves stale
+// verdicts across releases, completions, depletions, and replenishments. The
+// uncached run is immune (it has no cache to poison; the tag's server-side
+// replenishment mutation applies to both runs equally and cancels out), so at
+// least one scenario in the differential corpus must diverge in digest. If
+// every scenario still matches, the invalidation machinery is dead weight —
+// or the mutant stopped compiling to a behaviour change — and this test
+// fails.
+func TestCacheMutationCaught(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 60
+	}
+	scs := diffScenarios(n, 0xd1ce)
+	diverged, err := runner.Map(0, scs, func(i int, sc Scenario) (bool, error) {
+		cached, err := Run(sc)
+		if err != nil {
+			return false, err
+		}
+		uncached, err := RunUncached(sc)
+		if err != nil {
+			return false, err
+		}
+		return cached.Digest() != uncached.Digest(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, d := range diverged {
+		if d {
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatalf("invalidation-skipping mutant survived %d scenarios: differential digest test cannot catch stale cache verdicts", n)
+	}
+	t.Logf("mutant caught: %d/%d scenarios diverged", count, n)
+}

@@ -13,6 +13,18 @@ import (
 // statistics; the engine's cheap counters are cross-checked against the
 // suite's own event-derived tallies before returning.
 func Run(sc Scenario) (*check.Suite, error) {
+	return run(sc, policies.Options{Quantum: sc.Quantum})
+}
+
+// RunUncached is Run with the TimeDice schedulability-verdict cache disabled.
+// Because the cache is exact, the returned suite must be indistinguishable
+// from Run's — same digest, same violations, same statistics — which the
+// differential tests pin over the simfuzz scenario corpus.
+func RunUncached(sc Scenario) (*check.Suite, error) {
+	return run(sc, policies.Options{Quantum: sc.Quantum, UncachedTimeDice: true})
+}
+
+func run(sc Scenario, opts policies.Options) (*check.Suite, error) {
 	suite, err := check.NewSuite(sc.Spec, sc.Policy)
 	if err != nil {
 		return nil, err
@@ -21,7 +33,7 @@ func Run(sc Scenario) (*check.Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	pol, err := policies.Build(sc.Policy, built.Partitions, policies.Options{Quantum: sc.Quantum})
+	pol, err := policies.Build(sc.Policy, built.Partitions, opts)
 	if err != nil {
 		return nil, err
 	}

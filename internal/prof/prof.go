@@ -1,0 +1,76 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags into the
+// benchmark CLIs (covertbench, overheadbench, simfuzz), so hot-path work can
+// be profiled on the real campaign workloads rather than only on the Go
+// micro-benchmarks. The output is standard runtime/pprof format:
+//
+//	covertbench -fig 12 -cpuprofile cpu.out
+//	go tool pprof -top cpu.out
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations registered by AddFlags.
+type Flags struct {
+	CPU string
+	Mem string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs and returns the
+// holder to Start after parsing.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write an allocation profile to this file at exit")
+	return f
+}
+
+// Start begins CPU profiling when requested. The returned stop function ends
+// the CPU profile and writes the allocation profile; the caller must invoke
+// it on every exit path that should produce profiles (os.Exit skips defers).
+// stop is idempotent, so `defer stop()` composes with an explicit final call
+// whose error the caller checks. With neither flag set, Start and stop are
+// no-ops.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if f.Mem != "" {
+			memFile, err := os.Create(f.Mem)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer memFile.Close()
+			runtime.GC() // flush recently freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

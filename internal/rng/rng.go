@@ -179,5 +179,15 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 // their own stream without perturbing the parent's sequence consumption
 // pattern.
 func (r *Rand) Split() *Rand {
-	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+	child := &Rand{}
+	r.SplitInto(child)
+	return child
+}
+
+// SplitInto reseeds child in place exactly as Split would seed a fresh
+// generator, consuming the same single draw from r. Harnesses that retain
+// their component generators across trials use it to replay a fresh run's
+// split sequence without reallocating.
+func (r *Rand) SplitInto(child *Rand) {
+	child.Seed(r.Uint64() ^ 0xd1b54a32d192ed03)
 }

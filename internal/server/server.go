@@ -71,6 +71,7 @@ type Server struct {
 	remaining     vtime.Duration // B_i(t)
 	lastReplenish vtime.Time     // r_{i,t}
 	replQ         eventq.Queue[vtime.Duration]
+	replBuf       []vtime.Duration // scratch for draining replQ without allocating
 	obs           Observer
 }
 
@@ -142,7 +143,8 @@ func (s *Server) NextReplenish() vtime.Time {
 // calls it at every decision point before reading Remaining.
 func (s *Server) AdvanceTo(now vtime.Time) {
 	if s.policy == Sporadic {
-		for _, amount := range s.replQ.PopUntil(now) {
+		s.replBuf = s.replQ.PopUntil(now, s.replBuf[:0])
+		for _, amount := range s.replBuf {
 			before := s.remaining
 			s.remaining += amount
 			if s.remaining > s.budget {

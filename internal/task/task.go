@@ -174,6 +174,9 @@ type Scheduler struct {
 	// experiments demonstrate). The choice is re-drawn at every dispatch.
 	Shuffle   func(n int) int
 	completed int64
+	// ready counts pending jobs across all tasks, so the per-decision
+	// HasReady probe is O(1) instead of scanning every task queue.
+	ready int
 	// free recycles completed Job records so the steady-state release path
 	// allocates nothing. A recycled pointer is handed out again by a later
 	// release: observers must not retain a *Job past their callback (the
@@ -239,6 +242,7 @@ func (s *Scheduler) ReleaseUpTo(now vtime.Time) {
 				Remaining: demand,
 			}
 			st.push(j)
+			s.ready++
 			if s.Observer != nil {
 				s.Observer.JobReleased(j)
 			}
@@ -294,7 +298,7 @@ func (s *Scheduler) Current() *Job {
 }
 
 // HasReady reports whether any job is pending.
-func (s *Scheduler) HasReady() bool { return s.Current() != nil }
+func (s *Scheduler) HasReady() bool { return s.ready > 0 }
 
 // Backlog returns the total outstanding execution demand across all pending
 // jobs.
@@ -365,6 +369,7 @@ func (s *Scheduler) finish(job *Job, at vtime.Time) {
 	st := s.states[s.indexOf(job.Task)]
 	// The finished job is necessarily the front of its task's backlog.
 	st.popFront()
+	s.ready--
 	s.completed++
 	if s.lastJob == job {
 		s.lastJob = nil
@@ -395,16 +400,24 @@ func (s *Scheduler) indexOf(t *Task) int {
 }
 
 // Reset restores all tasks to their initial state (no pending jobs, first
-// arrival at the task offset).
+// arrival at the task offset). Pending jobs are recycled into the freelist
+// and every buffer keeps its capacity, so a reset scheduler replays a run
+// without reallocating.
 func (s *Scheduler) Reset() {
 	for _, st := range s.states {
 		st.started = false
 		st.nextArrival = 0
 		st.nextIndex = 0
-		st.pending = nil
+		for _, j := range st.queue() {
+			s.free = append(s.free, j)
+		}
+		for i := range st.pending {
+			st.pending[i] = nil
+		}
+		st.pending = st.pending[:0]
 		st.head = 0
 	}
 	s.completed = 0
+	s.ready = 0
 	s.lastJob = nil
-	s.free = nil
 }
