@@ -28,10 +28,11 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("covertbench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "experiment: 4 | 12 | 13 | 14 | 15 | car | ablation | rate | multipair | receivers | detect | all")
+	fig := fs.String("fig", "all", "experiment: 4 | 12 | 13 | 14 | 15 | car | ablation | rate | multipair | receivers | detect | campaign | all")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick | full")
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "trial workers: 0 = one per CPU, 1 = sequential")
+	stream := fs.Bool("stream", false, "streaming (constant-memory sketch) aggregation for campaign/fig16; exact is the default")
 	pf := prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +47,7 @@ func run(args []string) error {
 	}
 	sc.Seed = *seed
 	sc.Parallel = *parallel
+	sc.Stream = *stream
 
 	type runner struct {
 		name string
@@ -64,6 +66,7 @@ func run(args []string) error {
 		{"multipair", func() error { _, err := experiments.MultiPairReport(sc, w); return err }},
 		{"receivers", func() error { _, err := experiments.ReceiverZoo(sc, w); return err }},
 		{"detect", func() error { _, err := experiments.Detection(sc, w); return err }},
+		{"campaign", func() error { _, err := experiments.Campaign(sc, w); return err }},
 	}
 	want := strings.ToLower(*fig)
 	ran := false

@@ -1,10 +1,11 @@
 // Command figures renders the paper's visual artifacts as PNG files:
-// the Fig. 6 schedule traces (NoRandom vs TimeDice) and the Fig. 4(b)/13
-// execution-vector heatmaps (NoRandom, TimeDiceU, TimeDiceW).
+// the Fig. 6 schedule traces (NoRandom vs TimeDice), the Fig. 4(b)/13
+// execution-vector heatmaps (NoRandom, TimeDiceU, TimeDiceW), and the
+// Fig. 16 per-task response-time box plots (NoRandom vs TimeDice).
 //
 // Usage:
 //
-//	figures -out ./figures [-windows 120] [-seed 1]
+//	figures -out ./figures [-windows 120] [-seed 1] [-stream]
 package main
 
 import (
@@ -15,9 +16,11 @@ import (
 
 	"timedice/internal/covert"
 	"timedice/internal/engine"
+	"timedice/internal/experiments"
 	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
+	"timedice/internal/stats"
 	"timedice/internal/trace"
 	"timedice/internal/vtime"
 	"timedice/internal/workload"
@@ -36,6 +39,7 @@ func run(args []string) error {
 	windows := fs.Int("windows", 120, "monitoring windows per heatmap")
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "render workers: 0 = one per CPU, 1 = sequential")
+	stream := fs.Bool("stream", false, "streaming (constant-memory sketch) aggregation for the Fig. 16 boxes; exact is the default")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +57,45 @@ func run(args []string) error {
 	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
 		renders = append(renders, func() error { return renderHeatmap(*outDir, kind, *windows, *seed) })
 	}
+	// Fig. 16: per-task response-time box plots, NoRandom vs TimeDice.
+	renders = append(renders, func() error { return renderBoxes(*outDir, *seed, *stream) })
 	return runner.Do(*parallel, renders...)
+}
+
+// renderBoxes draws the Fig. 16 response-time spreads: one group per Table I
+// task, NoRandom and TimeDiceW boxes side by side. With -stream the samples
+// flow through per-task quantile sketches instead of buffers.
+func renderBoxes(outDir string, seed uint64, stream bool) error {
+	sc := experiments.Quick()
+	sc.Seed = seed
+	sc.Stream = stream
+	sc.Parallel = 1 // already fanned out as one render among the others
+	res, err := experiments.Fig16(sc, nil)
+	if err != nil {
+		return err
+	}
+	labels := make([]string, len(res.NoRandom.Tasks))
+	nr := make([]stats.BoxPlot, len(res.NoRandom.Tasks))
+	td := make([]stats.BoxPlot, len(res.NoRandom.Tasks))
+	for i, t := range res.NoRandom.Tasks {
+		labels[i] = t.Task
+		nr[i] = t.Box()
+		td[i] = res.TimeDice.Tasks[i].Box()
+	}
+	path := filepath.Join(outDir, "fig16_boxes.png")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = trace.BoxesPNG(labels, [][]stats.BoxPlot{nr, td}, f)
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return fmt.Errorf("render %s: %w", path, err)
+	}
+	fmt.Println("wrote", path)
+	return nil
 }
 
 func renderGantt(outDir string, kind policies.Kind, seed uint64) error {

@@ -31,6 +31,7 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "quick", "experiment scale: quick | full")
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "trial workers: 0 = one per CPU, 1 = sequential")
+	stream := fs.Bool("stream", false, "streaming (constant-memory sketch) aggregation for campaign/fig16; exact is the default")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,6 +41,7 @@ func run(args []string) error {
 	}
 	sc.Seed = *seed
 	sc.Parallel = *parallel
+	sc.Stream = *stream
 
 	var w io.Writer
 	if *outPath == "-" {
@@ -87,6 +89,7 @@ func run(args []string) error {
 		{"Extension — concurrent pairs", wrap(func(s experiments.Scale, w io.Writer) (any, error) { return experiments.MultiPairReport(s, w) })},
 		{"Extension — receiver zoo", wrap(func(s experiments.Scale, w io.Writer) (any, error) { return experiments.ReceiverZoo(s, w) })},
 		{"Extension — sender detection", wrap(func(s experiments.Scale, w io.Writer) (any, error) { return experiments.Detection(s, w) })},
+		{"Extension — cross-seed campaign", wrap(func(s experiments.Scale, w io.Writer) (any, error) { return experiments.Campaign(s, w) })},
 	}
 	for _, sec := range sections {
 		fmt.Fprintf(w, "## %s\n\n```\n", sec.title)

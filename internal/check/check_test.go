@@ -180,6 +180,18 @@ func TestOraclesFire(t *testing.T) {
 			t.Fatalf("counters oracle did not fire: %v", vs)
 		}
 	})
+
+	t.Run("counters/min-advance", func(t *testing.T) {
+		// No built-in policy can trigger the defensive minimum-advance
+		// fallback (all horizon bounds are strictly future), so a nonzero
+		// count is itself a violation.
+		s := newSuite(t, oneP(), policies.NoRandom)
+		s.CheckCounters(&engine.Counters{MinAdvances: 3}, ms(0))
+		vs, _ := s.Violations()
+		if !oracles(vs)[check.OracleCounters] {
+			t.Fatalf("min-advance oracle did not fire: %v", vs)
+		}
+	})
 }
 
 // TestSuiteCleanRun drives a real simulation through the suite and expects

@@ -565,4 +565,12 @@ func (s *Suite) CheckCounters(c *engine.Counters, horizon vtime.Duration) {
 	if s.busy+s.idle != horizon {
 		s.fail(OracleCounters, at, "slices cover %v of the %v horizon", s.busy+s.idle, horizon)
 	}
+	// The defensive minimum-advance fallback fires only when a policy hands
+	// the engine a horizon at or before now. Every built-in bound (budget
+	// exhaustion, local events, quantum, replenishments) is strictly in the
+	// future, so a nonzero count means a policy bug that silently degrades
+	// the simulation to tick-stepping — flag it, don't paper over it.
+	if c.MinAdvances != 0 {
+		s.fail(OracleCounters, at, "engine took %d minimum-advance fallback steps (policy returned a non-advancing horizon)", c.MinAdvances)
+	}
 }

@@ -415,13 +415,9 @@ func Snapshot(sys *engine.System, states []PartitionState) []PartitionState {
 // Under the timedice_mutation tag the stamp comparison is skipped, mirroring
 // the entry-level mutation (see mutation_on.go).
 func (p *Policy) searchReusable(sys *engine.System, now vtime.Time) (bool, uint64) {
-	stamps := sys.StateStamps()
-	var m uint64
-	for _, s := range stamps {
-		if s > m {
-			m = s
-		}
-	}
+	// Epoch is by construction the maximum of the per-partition stamps, so
+	// the staleness check is O(1) instead of an O(P) scan.
+	m := sys.Epoch()
 	if p.cache == nil || !p.searchInit || len(p.states) != len(sys.Partitions) {
 		return false, m
 	}

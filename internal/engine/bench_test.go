@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"fmt"
 	"testing"
 
 	"timedice/internal/engine"
@@ -104,5 +105,75 @@ func TestRunnableScratchReuse(t *testing.T) {
 	second := sys.Runnable()
 	if &first[0] != &second[0] {
 		t.Error("Runnable allocated a fresh slice; want scratch-buffer reuse")
+	}
+}
+
+// buildSparse assembles the n-partition sparse-activity system (three hot
+// partitions, n−3 second-scale cold ones) under NoRandom, optionally on the
+// reference scan-stepping path.
+func buildSparse(tb testing.TB, n int, scan bool) *engine.System {
+	tb.Helper()
+	built, err := workload.Sparse(n).Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pol, err := policies.Build(policies.NoRandom, built.Partitions, policies.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys, err := engine.New(built.Partitions, pol, rng.New(1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys.ScanStepping = scan
+	return sys
+}
+
+// BenchmarkEngineStepScale sweeps the partition axis on the sparse-activity
+// workload: one op advances the warmed system by one simulated millisecond.
+// The amount of schedulable work is constant across P, so the indexed
+// variant should stay near-flat while the scan variant grows linearly —
+// the gap at P=64/256 is the tentpole speedup BENCH_scale.json records.
+func BenchmarkEngineStepScale(b *testing.B) {
+	for _, n := range []int{2, 8, 64, 256} {
+		for _, mode := range []struct {
+			name string
+			scan bool
+		}{{"indexed", false}, {"scan", true}} {
+			b.Run(fmt.Sprintf("P%d/%s", n, mode.name), func(b *testing.B) {
+				sys := buildSparse(b, n, mode.scan)
+				// Warm past every cold partition's first replenishment cycle.
+				sys.RunFor(3 * vtime.Second)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys.RunFor(vtime.Millisecond)
+				}
+			})
+		}
+	}
+}
+
+// TestEngineScaleZeroAlloc pins the allocation contract of the indexed
+// stepping path at scale: once warmed, stepping a 64- and a 256-partition
+// sparse system allocates nothing.
+func TestEngineScaleZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin runs in the non-race CI lane")
+	}
+	for _, n := range []int{64, 256} {
+		t.Run(fmt.Sprintf("P%d", n), func(t *testing.T) {
+			sys := buildSparse(t, n, false)
+			sys.RunFor(3 * vtime.Second)
+			allocs := testing.AllocsPerRun(50, func() {
+				sys.RunFor(10 * vtime.Millisecond)
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state stepping at P=%d allocates %.1f times per 10ms slice, want 0", n, allocs)
+			}
+		})
 	}
 }

@@ -14,8 +14,11 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 	"time"
 
+	"timedice/internal/eventq"
 	"timedice/internal/partition"
 	"timedice/internal/rng"
 	"timedice/internal/server"
@@ -92,8 +95,16 @@ type Counters struct {
 	InversionTime    vtime.Duration
 	// PolicyLatency is a fixed-bucket streaming histogram (microseconds) of
 	// individual Pick wall-clock latencies, populated when MeasureLatency is
-	// set. Constant memory regardless of run length.
+	// set. Constant memory regardless of run length. Allocated once at the
+	// start of Run (never mid-step) and retained across Reset.
 	PolicyLatency *telemetry.Histogram
+
+	// MinAdvances counts activations of the defensive minimum-advance
+	// fallback: steps where every horizon bound collapsed to now and the
+	// engine forced a 1µs advance to keep the simulation moving. Well-behaved
+	// policies never trigger it — the simfuzz oracles treat a non-zero count
+	// as a violation — so it is a tripwire for misbehaving custom policies.
+	MinAdvances int64
 }
 
 // System is a complete simulated system: partitions under one global policy.
@@ -109,6 +120,17 @@ type System struct {
 	// MeasureLatency streams the wall-clock latency of every Pick call into
 	// the Counters.PolicyLatency histogram (Table IV). Off by default.
 	MeasureLatency bool
+	// ScanStepping selects the reference O(P) stepping implementation: full
+	// partition scans for event delivery, polling-idle notification, and the
+	// horizon min-reduce, exactly as the engine worked before the indexed
+	// stepping path. The default (false) uses the index-min heap and the
+	// runnable bitset, whose per-step cost depends on the number of due and
+	// runnable partitions rather than on P. Both paths produce byte-identical
+	// event streams (pinned by the gen differential suite); the scan path
+	// exists as the differential/benchmark baseline, like UncachedTimeDice
+	// does for the verdict cache. Toggling mid-run is safe: the heap keys and
+	// the bitset are maintained in both modes.
+	ScanStepping bool
 
 	Counters Counters
 
@@ -125,6 +147,21 @@ type System struct {
 	// partitions. Entries start at zero so the first step touches everyone
 	// (task arrival anchors are computed lazily on first delivery).
 	nextEv []vtime.Time
+	// evq mirrors nextEv as a 4-ary index-min heap: evq.Key(i) == nextEv[i]
+	// at every instant (setNextEv writes both). The heap answers the two
+	// questions step asks of nextEv — "who is due?" (CollectDue) and "what is
+	// the earliest future event?" (MinKey) — in time proportional to the
+	// answer instead of O(P).
+	evq *eventq.IndexMin
+	// readyMask is a bitset over partition indices with bit i set iff
+	// Partitions[i].Runnable() (active server ∧ ready work). It is refreshed
+	// at the only sites where runnability can change — event delivery and
+	// execution — and backs Runnable and the inversion scan in indexed mode.
+	// NoteIdle never flips a bit: it only fires on partitions with no ready
+	// work, which are not runnable before or after the discard.
+	readyMask []uint64
+	// dueBuf is the reusable scratch for the delivery phase's due set.
+	dueBuf []int32
 	// runnableBuf is the reusable backing array for Runnable.
 	runnableBuf []*partition.Partition
 
@@ -181,6 +218,9 @@ func New(parts []*partition.Partition, policy GlobalPolicy, rnd *rng.Rand) (*Sys
 		running:     -1,
 		perPart:     make([]vtime.Duration, len(ordered)),
 		nextEv:      make([]vtime.Time, len(ordered)),
+		evq:         eventq.NewIndexMin(len(ordered)),
+		readyMask:   make([]uint64, (len(ordered)+63)/64),
+		dueBuf:      make([]int32, 0, len(ordered)),
 		runnableBuf: make([]*partition.Partition, 0, len(ordered)),
 		stamps:      make([]uint64, len(ordered)),
 	}
@@ -299,10 +339,49 @@ func (o *partObserver) Depleted(at vtime.Time, discarded vtime.Duration) {
 // read-only, valid until the next step.
 func (s *System) StateStamps() []uint64 { return s.stamps }
 
+// Epoch returns the current state epoch. Because every stamp bump assigns
+// the freshly incremented epoch to the touched partition, Epoch always
+// equals the maximum of StateStamps — an O(1) substitute for scanning them.
+func (s *System) Epoch() uint64 { return s.epoch }
+
 // bumpStamp records a discontinuous state change on partition i.
 func (s *System) bumpStamp(i int) {
 	s.epoch++
 	s.stamps[i] = s.epoch
+}
+
+// setNextEv refreshes partition i's cached next-local-event time in both the
+// linear cache and the index-min heap, keeping the two views identical.
+func (s *System) setNextEv(i int, t vtime.Time) {
+	s.nextEv[i] = t
+	s.evq.Update(i, t)
+}
+
+// updateRunnableBit re-derives readyMask bit i from the partition's current
+// state. Called after the two sites that can change runnability: event
+// delivery and execution.
+func (s *System) updateRunnableBit(i int) {
+	w, b := i>>6, uint(i&63)
+	if s.Partitions[i].Runnable() {
+		s.readyMask[w] |= 1 << b
+	} else {
+		s.readyMask[w] &^= 1 << b
+	}
+}
+
+// anyRunnableBelow reports whether any partition with index < n is runnable,
+// from the bitset (indexed mode only).
+func (s *System) anyRunnableBelow(n int) bool {
+	w := 0
+	for ; (w+1)*64 <= n; w++ {
+		if s.readyMask[w] != 0 {
+			return true
+		}
+	}
+	if rem := n - w*64; rem > 0 {
+		return s.readyMask[w]&(1<<uint(rem)-1) != 0
+	}
+	return false
 }
 
 // Now returns the current simulated instant.
@@ -320,9 +399,21 @@ func (s *System) PartitionTime(i int) vtime.Duration { return s.perPart[i] }
 // only until the next Runnable call and must not be retained or mutated.
 func (s *System) Runnable() []*partition.Partition {
 	out := s.runnableBuf[:0]
-	for _, p := range s.Partitions {
-		if p.Runnable() {
-			out = append(out, p)
+	if s.ScanStepping {
+		// Reference implementation: the linear scan the bitset must agree
+		// with (pinned by the differential suite).
+		for _, p := range s.Partitions {
+			if p.Runnable() {
+				out = append(out, p)
+			}
+		}
+	} else {
+		for w, word := range s.readyMask {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				out = append(out, s.Partitions[w<<6+b])
+			}
 		}
 	}
 	s.runnableBuf = out
@@ -331,6 +422,12 @@ func (s *System) Runnable() []*partition.Partition {
 
 // Run advances the simulation until the given instant.
 func (s *System) Run(until vtime.Time) {
+	// The latency histogram is allocated here, outside the hot loop, so the
+	// first measured step never allocates mid-step. It survives Reset (reset
+	// to empty), so a reused system replays measured trials allocation-free.
+	if s.MeasureLatency && s.Counters.PolicyLatency == nil {
+		s.Counters.PolicyLatency = telemetry.NewHistogram(telemetry.LatencyBuckets())
+	}
 	for s.now < until {
 		s.step(until)
 	}
@@ -339,30 +436,95 @@ func (s *System) Run(until vtime.Time) {
 // RunFor advances the simulation by d.
 func (s *System) RunFor(d vtime.Duration) { s.Run(s.now.Add(d)) }
 
+// deliver applies all events due at or before now to partition i:
+// replenishment-boundary advance and job releases, then refreshes the
+// next-event cache/heap and the runnable bit.
+func (s *System) deliver(i int, p *partition.Partition, now vtime.Time) {
+	// Delivery can change the partition's replenishment anchors even without
+	// firing an observer callback (a boundary advance that restores an
+	// already-full budget), so the stamp bump is unconditional here.
+	s.bumpStamp(i)
+	p.Server.AdvanceTo(now)
+	p.Local.ReleaseUpTo(now)
+	s.setNextEv(i, p.NextLocalEvent())
+	s.updateRunnableBit(i)
+}
+
+// noteIdleTouched gives polling servers with no pending workload the chance
+// to discard their budget, visiting only the partitions that can have newly
+// entered the (active ∧ no-ready-work) state this step instead of all P.
+//
+// The touched set is due ∪ {previously running partition}, and it is
+// exhaustive: a partition's ready count only changes when jobs are released
+// to it (delivery — in due) or when its jobs complete (it executed last
+// step — it is s.running, still the previous pick here since the new pick
+// happens after this phase), and its server only becomes active through a
+// replenishment (delivery — in due). Any partition outside the set that is
+// idle-active now was already idle-active when it was last touched, and its
+// server discarded then. The first step after construction or Reset
+// delivers to every partition (nextEv entries start at zero), which covers
+// the initial full-budget/no-jobs state. Visiting in ascending index order
+// replays the scan path's Depleted-event order exactly.
+func (s *System) noteIdleTouched(now vtime.Time, due []int32) {
+	prev := int32(-1)
+	if s.running >= 0 {
+		prev = int32(s.running)
+	}
+	merged := prev < 0
+	for _, i := range due {
+		if !merged && prev < i {
+			s.noteIdleOne(int(prev), now)
+			merged = true
+		}
+		if i == prev {
+			merged = true
+		}
+		s.noteIdleOne(int(i), now)
+	}
+	if !merged {
+		s.noteIdleOne(int(prev), now)
+	}
+}
+
+func (s *System) noteIdleOne(i int, now vtime.Time) {
+	p := s.Partitions[i]
+	if !p.Local.HasReady() {
+		// Discarding leaves the partition non-runnable either way (no ready
+		// work before and after), so the readyMask bit is already clear.
+		p.Server.NoteIdle(now)
+	}
+}
+
 func (s *System) step(until vtime.Time) {
 	now := s.now
 
 	// Deliver every event due at or before now: replenishments and arrivals.
 	// Partitions whose cached next event is still in the future are quiescent
-	// and skipped — nothing is due for them.
-	for i, p := range s.Partitions {
-		if s.nextEv[i] <= now {
-			// Delivery can change the partition's replenishment anchors even
-			// without firing an observer callback (a boundary advance that
-			// restores an already-full budget), so the stamp bump is
-			// unconditional here.
-			s.bumpStamp(i)
-			p.Server.AdvanceTo(now)
-			p.Local.ReleaseUpTo(now)
-			s.nextEv[i] = p.NextLocalEvent()
+	// and skipped — nothing is due for them. The indexed path finds the due
+	// set by pruned heap descent and replays the scan path's ascending
+	// partition-index delivery order exactly (the due set is sorted), so both
+	// paths emit byte-identical event streams.
+	if s.ScanStepping {
+		for i, p := range s.Partitions {
+			if s.nextEv[i] <= now {
+				s.deliver(i, p, now)
+			}
 		}
-	}
-	// Polling servers discard budget the moment they hold it with no
-	// pending workload.
-	for _, p := range s.Partitions {
-		if !p.Local.HasReady() {
-			p.Server.NoteIdle(now)
+		// Polling servers discard budget the moment they hold it with no
+		// pending workload.
+		for _, p := range s.Partitions {
+			if !p.Local.HasReady() {
+				p.Server.NoteIdle(now)
+			}
 		}
+	} else {
+		due := s.evq.CollectDue(now, s.dueBuf[:0])
+		slices.Sort(due)
+		s.dueBuf = due
+		for _, i := range due {
+			s.deliver(int(i), s.Partitions[i], now)
+		}
+		s.noteIdleTouched(now, due)
 	}
 
 	// Global scheduling decision. The clock reads exist only under
@@ -375,10 +537,9 @@ func (s *System) step(until vtime.Time) {
 		lat := time.Since(t0)
 		s.Counters.PolicyTime += lat
 		s.Counters.PolicySamples++
-		if s.Counters.PolicyLatency == nil {
-			s.Counters.PolicyLatency = telemetry.NewHistogram(telemetry.LatencyBuckets())
+		if h := s.Counters.PolicyLatency; h != nil { // allocated by Run
+			h.Observe(float64(lat.Nanoseconds()) / 1e3)
 		}
-		s.Counters.PolicyLatency.Observe(float64(lat.Nanoseconds()) / 1e3)
 	} else {
 		pick = s.Policy.Pick(s, now)
 	}
@@ -403,10 +564,15 @@ func (s *System) step(until vtime.Time) {
 	// quantum boundary, and — if a partition runs — its budget depletion or
 	// current-job completion.
 	horizon := until
-	for _, e := range s.nextEv {
-		if e < horizon {
-			horizon = e
+	if s.ScanStepping {
+		for _, e := range s.nextEv {
+			if e < horizon {
+				horizon = e
+			}
 		}
+	} else if e := s.evq.MinKey(); e < horizon {
+		// MinKey == min(nextEv): the heap mirrors the cache exactly.
+		horizon = e
 	}
 	if q := s.Policy.Quantum(); q > 0 {
 		if qe := now.Add(q); qe < horizon {
@@ -431,7 +597,9 @@ func (s *System) step(until vtime.Time) {
 	if horizon <= now {
 		// All events at now were already delivered, so the earliest future
 		// event is strictly later; this is a defensive fallback that keeps
-		// the simulation moving even if a policy misbehaves.
+		// the simulation moving even if a policy misbehaves. Counted so
+		// oracles can flag policies that trigger it.
+		s.Counters.MinAdvances++
 		horizon = now.Add(vtime.Microsecond)
 		if horizon > until {
 			horizon = until
@@ -456,7 +624,8 @@ func (s *System) step(until vtime.Time) {
 		if used > 0 && pick.Server.PolicyKind() == server.Sporadic {
 			s.bumpStamp(pick.Index)
 		}
-		s.nextEv[pick.Index] = pick.NextLocalEvent()
+		s.setNextEv(pick.Index, pick.NextLocalEvent())
+		s.updateRunnableBit(pick.Index)
 		s.perPart[pick.Index] += used
 		s.Counters.BusyTime += used
 		end := now.Add(used)
@@ -528,11 +697,15 @@ func (s *System) observeDecision(now vtime.Time, pick *partition.Partition, pick
 	if pick != nil {
 		upTo = pick.Index
 	}
-	for i := 0; i < upTo; i++ {
-		if s.Partitions[i].Runnable() {
-			inverted = true
-			break
+	if s.ScanStepping {
+		for i := 0; i < upTo; i++ {
+			if s.Partitions[i].Runnable() {
+				inverted = true
+				break
+			}
 		}
+	} else {
+		inverted = s.anyRunnableBelow(upTo)
 	}
 	switch {
 	case inverted && !s.invOpen:
@@ -583,7 +756,15 @@ func (s *System) Reset() {
 	}
 	s.now = 0
 	s.running = -1
+	// The latency histogram survives (emptied): dropping it would force the
+	// next measured Run to reallocate, breaking the allocation-free reuse
+	// contract. A reset histogram is indistinguishable from a fresh one.
+	h := s.Counters.PolicyLatency
 	s.Counters = Counters{}
+	if h != nil {
+		h.Reset()
+		s.Counters.PolicyLatency = h
+	}
 	s.invOpen = false
 	s.invStart = 0
 	s.epoch = 0
@@ -591,6 +772,10 @@ func (s *System) Reset() {
 		s.perPart[i] = 0
 		s.nextEv[i] = 0
 		s.stamps[i] = 0
+	}
+	s.evq.Reset()
+	for i := range s.readyMask {
+		s.readyMask[i] = 0
 	}
 	if pr, ok := s.Policy.(PolicyResetter); ok {
 		pr.Reset()

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"slices"
 	"testing"
 
 	"timedice/internal/engine"
@@ -155,6 +156,10 @@ func TestResetRestoresInitialState(t *testing.T) {
 
 func TestRunnableOrder(t *testing.T) {
 	sys := buildTwo(t, sched.FixedPriority{})
+	// Partition state is mutated behind the engine's back here, which the
+	// runnable bitset cannot observe; the scan path re-derives runnability
+	// on every call and is the documented escape hatch for this.
+	sys.ScanStepping = true
 	// At t=0 both are runnable, in priority order.
 	for _, p := range sys.Partitions {
 		p.Server.AdvanceTo(0)
@@ -164,6 +169,30 @@ func TestRunnableOrder(t *testing.T) {
 	if len(r) != 2 || r[0].Index != 0 || r[1].Index != 1 {
 		t.Errorf("runnable = %v", r)
 	}
+}
+
+// TestRunnableMaskMatchesScan pins the indexed-mode Runnable (bitset walk)
+// to the linear-scan reference on an engine-driven schedule: after every
+// segment the two must agree element for element.
+func TestRunnableMaskMatchesScan(t *testing.T) {
+	sys := buildTwo(t, sched.FixedPriority{})
+	sys.TraceFn = func(engine.Segment) {
+		masked := sys.Runnable()
+		got := make([]int, len(masked))
+		for i, p := range masked {
+			got[i] = p.Index
+		}
+		var want []int
+		for _, p := range sys.Partitions {
+			if p.Runnable() {
+				want = append(want, p.Index)
+			}
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("at %v: mask runnable %v, scan runnable %v", sys.Now(), got, want)
+		}
+	}
+	sys.Run(vtime.Time(vtime.MS(500)))
 }
 
 func TestTDMAIsolation(t *testing.T) {

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"io"
+
+	"timedice/internal/covert"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+	"timedice/internal/stats"
+)
+
+// CampaignRow summarizes one policy's channel metrics across the seed
+// sweep: mean ± std plus the p10/p50/p90 spread of the RT-decoder accuracy
+// and the mean and p90 of channel capacity.
+type CampaignRow struct {
+	Policy                 policies.Kind
+	N                      int
+	AccMean, AccStd        float64
+	AccP10, AccP50, AccP90 float64
+	CapMean, CapP90        float64
+}
+
+// CampaignResult is the cross-seed robustness report.
+type CampaignResult struct {
+	Rows []CampaignRow
+	// Streaming records which aggregation path produced the rows: exact
+	// per-seed collection (default) or constant-memory sketch merging.
+	Streaming bool
+}
+
+// campaignSeedCount sizes the sweep from the scale: one seed per 40 test
+// windows, clamped to [8, 64].
+func campaignSeedCount(sc Scale) int {
+	n := sc.TestWindows / 40
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
+
+// Campaign sweeps the standard feasibility channel across many independent
+// seeds for NoRandom and TimeDiceW and reports the cross-seed spread of the
+// channel metrics — the robustness view behind the single-seed figures.
+// With sc.Stream the per-seed metrics are folded through per-worker
+// quantile sketches merged at fan-in (covert.RunSeedsStream), so memory is
+// independent of the sweep size; by default the per-seed results are
+// collected and the quantiles computed exactly. At this sweep's scale the
+// sketches are still in their exact small-N regime, so both paths print
+// identical quantiles; means can differ in the last floating-point digits
+// (parallel Welford combine).
+func Campaign(sc Scale, w io.Writer) (*CampaignResult, error) {
+	sc = sc.withDefaults()
+	n := campaignSeedCount(sc)
+	root := rng.New(sc.Seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+
+	res := &CampaignResult{Streaming: sc.Stream}
+	mode := "exact"
+	if sc.Stream {
+		mode = "streaming"
+	}
+	fprintf(w, "Campaign: channel metrics across %d seeds (%s aggregation)\n", n, mode)
+	fprintf(w, "%-10s %18s %24s %10s %8s\n",
+		"policy", "accuracy mean±std", "accuracy p10/p50/p90", "cap mean", "cap p90")
+	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
+		cfg := channelConfig(BaseLoad, kind, sc)
+		row := CampaignRow{Policy: kind, N: n}
+		if sc.Stream {
+			sa, err := covert.RunSeedsStream(cfg, seeds, sc.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			row.AccMean, row.AccStd = sa.RTAccuracy.Mean(), sa.RTAccuracy.Std()
+			accQ := sa.RTAccuracyQ.Quantiles(0.1, 0.5, 0.9)
+			row.AccP10, row.AccP50, row.AccP90 = accQ[0], accQ[1], accQ[2]
+			row.CapMean = sa.Capacity.Mean()
+			row.CapP90 = sa.CapacityQ.Quantile(0.9)
+		} else {
+			results, err := covert.CollectSeeds(cfg, seeds, sc.Parallel)
+			if err != nil {
+				return nil, err
+			}
+			accs := make([]float64, len(results))
+			caps := make([]float64, len(results))
+			var accSum stats.Summary
+			var capSum stats.Summary
+			for i, r := range results {
+				accs[i] = r.RTAccuracy
+				caps[i] = r.Capacity
+				accSum.Add(r.RTAccuracy)
+				capSum.Add(r.Capacity)
+			}
+			row.AccMean, row.AccStd = accSum.Mean(), accSum.Std()
+			accQ := stats.Quantiles(accs, 0.1, 0.5, 0.9)
+			row.AccP10, row.AccP50, row.AccP90 = accQ[0], accQ[1], accQ[2]
+			row.CapMean = capSum.Mean()
+			row.CapP90 = stats.Quantile(caps, 0.9)
+		}
+		res.Rows = append(res.Rows, row)
+		fprintf(w, "%-10s %8.2f%% ± %5.2f%%  %6.2f%%/%6.2f%%/%6.2f%% %10.3f %8.3f\n",
+			kind, 100*row.AccMean, 100*row.AccStd,
+			100*row.AccP10, 100*row.AccP50, 100*row.AccP90,
+			row.CapMean, row.CapP90)
+	}
+	return res, nil
+}

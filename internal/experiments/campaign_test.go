@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"timedice/internal/policies"
+	"timedice/internal/vtime"
+)
+
+// TestCampaignExactAndStreamingAgree runs the seed sweep through both
+// aggregation paths: at this scale the sketches never leave their exact
+// small-N regime, so the quantile columns must match bit for bit, and the
+// means up to the parallel-combine rounding.
+func TestCampaignExactAndStreamingAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep is slow")
+	}
+	sc := tiny()
+	sc.TestWindows = 320 // 8 seeds, the sweep floor
+	exact, err := Campaign(sc, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Stream = true
+	var buf strings.Builder
+	stream, err := Campaign(sc, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Streaming || !stream.Streaming {
+		t.Fatal("Streaming flags wrong")
+	}
+	if len(exact.Rows) != 2 || len(stream.Rows) != 2 {
+		t.Fatalf("rows: %d exact, %d stream", len(exact.Rows), len(stream.Rows))
+	}
+	for i, e := range exact.Rows {
+		s := stream.Rows[i]
+		if e.Policy != s.Policy || e.N != s.N {
+			t.Fatalf("row %d identity mismatch", i)
+		}
+		if e.AccP10 != s.AccP10 || e.AccP50 != s.AccP50 || e.AccP90 != s.AccP90 || e.CapP90 != s.CapP90 {
+			t.Errorf("row %d quantiles diverged: exact %+v stream %+v", i, e, s)
+		}
+		if d := e.AccMean - s.AccMean; d > 1e-12 || d < -1e-12 {
+			t.Errorf("row %d mean diverged by %v", i, d)
+		}
+	}
+	// The mitigation effect must be visible across seeds: TimeDiceW median
+	// accuracy below NoRandom's.
+	if exact.Rows[1].AccP50 >= exact.Rows[0].AccP50 {
+		t.Errorf("TimeDiceW median accuracy %.3f not below NoRandom %.3f",
+			exact.Rows[1].AccP50, exact.Rows[0].AccP50)
+	}
+	if !strings.Contains(buf.String(), "streaming aggregation") {
+		t.Error("report does not mention the aggregation mode")
+	}
+}
+
+// TestResponsivenessStreamMatchesExact pins the streaming per-task sketch
+// path against buffered samples on the same run: identical schedules, and
+// box plots within the sketch's documented accuracy.
+func TestResponsivenessStreamMatchesExact(t *testing.T) {
+	sc := tiny()
+	spec := BaseLoad.Spec()
+	dur := vtime.Duration(sc.SimSeconds) * vtime.Second
+	exact, err := RunResponsiveness(spec, policies.NoRandom, dur, sc.Seed, ResponsivenessOptions{Jitter: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := RunResponsiveness(spec, policies.NoRandom, dur, sc.Seed, ResponsivenessOptions{Jitter: 0.2, Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range exact.Tasks {
+		s := stream.Tasks[i]
+		if s.Sketch == nil || s.Samples != nil {
+			t.Fatalf("task %s: streaming record shape wrong", s.Task)
+		}
+		if e.Summary.N() != s.Summary.N() || e.Misses != s.Misses {
+			t.Fatalf("task %s: schedules diverged (n %d vs %d)", s.Task, e.Summary.N(), s.Summary.N())
+		}
+		eb, sb := e.Box(), s.Box()
+		alpha := s.Sketch.Accuracy()
+		check := func(name string, ev, sv float64) {
+			if d := sv - ev; d > alpha*ev+1e-9 || d < -alpha*ev-1e-9 {
+				t.Errorf("task %s %s: stream %v vs exact %v", s.Task, name, sv, ev)
+			}
+		}
+		check("min", eb.Min, sb.Min)
+		check("median", eb.Median, sb.Median)
+		check("max", eb.Max, sb.Max)
+		// Exact Box sums samples directly, the streaming path reads the
+		// Welford Summary: same mean up to accumulation rounding.
+		if d := sb.Mean - eb.Mean; d > 1e-9*eb.Mean || d < -1e-9*eb.Mean {
+			t.Errorf("task %s mean: stream %v vs exact %v", s.Task, sb.Mean, eb.Mean)
+		}
+	}
+}

@@ -19,12 +19,30 @@ type TaskResponse struct {
 	Partition, Task string
 	Deadline        vtime.Duration
 	Summary         stats.Summary
-	Samples         []float64 // milliseconds, for box plots
-	Misses          int64     // deadline misses observed
+	Samples         []float64 // milliseconds, for box plots (exact mode)
+	// Sketch replaces Samples under streaming aggregation
+	// (ResponsivenessOptions.Stream): constant memory per task no matter how
+	// long the run, with the sketch's documented quantile accuracy.
+	Sketch *stats.Sketch
+	Misses int64 // deadline misses observed
 }
 
-// Box returns the five-number summary of the samples.
-func (t *TaskResponse) Box() stats.BoxPlot { return stats.Box(t.Samples) }
+// Box returns the five-number summary of the observations: exact from the
+// buffered samples, or sketch-estimated (mean from the streaming Summary)
+// in streaming mode.
+func (t *TaskResponse) Box() stats.BoxPlot {
+	if t.Sketch != nil {
+		if t.Sketch.N() == 0 {
+			return stats.BoxPlot{}
+		}
+		qs := t.Sketch.Quantiles(0.25, 0.5, 0.75)
+		return stats.BoxPlot{
+			Min: t.Sketch.Min(), Q1: qs[0], Median: qs[1], Q3: qs[2],
+			Max: t.Sketch.Max(), Mean: t.Summary.Mean(), N: int(t.Sketch.N()),
+		}
+	}
+	return stats.Box(t.Samples)
+}
 
 // ResponsivenessResult is one policy's run over a system.
 type ResponsivenessResult struct {
@@ -50,7 +68,11 @@ type ResponsivenessOptions struct {
 	// pressure).
 	Jitter float64
 	// KeepSamples bounds the per-task stored samples (0 = keep all).
+	// Ignored under Stream.
 	KeepSamples int
+	// Stream aggregates response times into per-task quantile sketches
+	// instead of sample buffers: constant memory regardless of run length.
+	Stream bool
 }
 
 // RunResponsiveness simulates spec under the policy for dur and collects
@@ -71,6 +93,9 @@ func RunResponsiveness(spec model.SystemSpec, kind policies.Kind, dur vtime.Dura
 				deadline = ts.Period
 			}
 			rec := &TaskResponse{Partition: ps.Name, Task: ts.Name, Deadline: deadline}
+			if opts.Stream {
+				rec.Sketch = stats.NewSketch()
+			}
 			records[model.TaskKey(ps.Name, ts.Name)] = rec
 			res.Tasks = append(res.Tasks, rec)
 
@@ -94,7 +119,9 @@ func RunResponsiveness(spec model.SystemSpec, kind policies.Kind, dur vtime.Dura
 			rec := records[model.TaskKey(pn, c.Job.Task.Name)]
 			ms := c.Response.Milliseconds()
 			rec.Summary.Add(ms)
-			if opts.KeepSamples <= 0 || len(rec.Samples) < opts.KeepSamples {
+			if rec.Sketch != nil {
+				rec.Sketch.Add(ms)
+			} else if opts.KeepSamples <= 0 || len(rec.Samples) < opts.KeepSamples {
 				rec.Samples = append(rec.Samples, ms)
 			}
 			if c.Response > rec.Deadline {
@@ -126,7 +153,9 @@ func Fig16(sc Scale, w io.Writer) (*Fig16Result, error) {
 	sc = sc.withDefaults()
 	spec := BaseLoad.Spec()
 	dur := vtime.Duration(sc.SimSeconds) * vtime.Second
-	opts := ResponsivenessOptions{Jitter: 0.2, KeepSamples: 100000}
+	// Streaming mode trades the 100k-sample buffers for constant-memory
+	// per-task sketches (sc.Stream; exact remains the default).
+	opts := ResponsivenessOptions{Jitter: 0.2, KeepSamples: 100000, Stream: sc.Stream}
 	runs, err := runner.Map(sc.Parallel, []policies.Kind{policies.NoRandom, policies.TimeDiceW},
 		func(_ int, kind policies.Kind) (*ResponsivenessResult, error) {
 			return RunResponsiveness(spec, kind, dur, sc.Seed, opts)

@@ -176,6 +176,103 @@ func MapPooled[S, T, R any](workers int, newState func() (S, error), items []T, 
 	return out, nil
 }
 
+// ReducePooled is MapPooled for campaigns whose per-trial results should be
+// folded as they are produced instead of collected: each worker owns an
+// accumulator (created by newAcc) alongside its reusable state, fn folds
+// every trial it claims directly into that accumulator, and when the pool
+// drains the per-worker accumulators are merged in worker-slot order into
+// the first one, which is returned. Memory is O(workers · |accumulator|)
+// instead of O(len(items) · |result|) — the shape streaming campaign
+// statistics need.
+//
+// Which trials land in which accumulator depends on runtime claim order, so
+// deterministic totals require merge (and fn's folding) to be insensitive
+// to grouping and order — true of counters, stats.Summary merges up to
+// floating-point rounding, and exactly true of stats.Sketch. On any error
+// the first (by index) is returned and the partial accumulators are
+// discarded. A single worker folds sequentially in input order on the
+// calling goroutine.
+func ReducePooled[S, T, A any](workers int, newState func() (S, error), newAcc func() A, items []T, fn func(st S, acc A, i int, item T) error, merge func(dst, src A)) (A, error) {
+	var zero A
+	w := Workers(workers)
+	if w > len(items) {
+		w = len(items)
+	}
+	if w <= 1 {
+		st, err := safeNew(newState)
+		if err != nil {
+			return zero, err
+		}
+		acc := newAcc()
+		for i, item := range items {
+			if err := safeFold(fn, st, acc, i, item); err != nil {
+				return zero, err
+			}
+		}
+		return acc, nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = -1
+	)
+	fail := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
+	accs := make([]A, w)
+	for slot := range w {
+		accs[slot] = newAcc()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := safeNew(newState)
+			if err != nil {
+				fail(int(next.Load()), err)
+				return
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || failed.Load() {
+					return
+				}
+				if err := safeFold(fn, st, accs[slot], i, items[i]); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return zero, firstErr
+	}
+	for slot := 1; slot < w; slot++ {
+		merge(accs[0], accs[slot])
+	}
+	return accs[0], nil
+}
+
+// safeFold invokes one folding trial with the same panic containment as
+// safeCallPooled.
+func safeFold[S, T, A any](fn func(S, A, int, T) error, st S, acc A, i int, item T) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: trial %d panicked: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	return fn(st, acc, i, item)
+}
+
 // safeNew builds one worker's state, containing panics like safeCall does.
 func safeNew[S any](newState func() (S, error)) (st S, err error) {
 	defer func() {

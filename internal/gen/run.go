@@ -24,7 +24,19 @@ func RunUncached(sc Scenario) (*check.Suite, error) {
 	return run(sc, policies.Options{Quantum: sc.Quantum, UncachedTimeDice: true})
 }
 
-func run(sc Scenario, opts policies.Options) (*check.Suite, error) {
+// RunScan is Run with the engine's reference O(P) scan stepping
+// (engine.System.ScanStepping) instead of the indexed event queue. The two
+// stepping modes are required to be observationally identical — same digest,
+// same violations — which the differential tests pin over the scenario
+// corpus.
+func RunScan(sc Scenario) (*check.Suite, error) {
+	return run(sc, policies.Options{Quantum: sc.Quantum}, scanStepping)
+}
+
+// scanStepping flips the built system to the reference stepping path.
+func scanStepping(sys *engine.System) { sys.ScanStepping = true }
+
+func run(sc Scenario, opts policies.Options, tweaks ...func(*engine.System)) (*check.Suite, error) {
 	suite, err := check.NewSuite(sc.Spec, sc.Policy)
 	if err != nil {
 		return nil, err
@@ -40,6 +52,9 @@ func run(sc Scenario, opts policies.Options) (*check.Suite, error) {
 	sys, err := engine.New(built.Partitions, pol, rng.New(sc.Seed))
 	if err != nil {
 		return nil, err
+	}
+	for _, tw := range tweaks {
+		tw(sys)
 	}
 	sys.AttachTelemetry(suite)
 	sys.RunFor(sc.Horizon)

@@ -27,12 +27,12 @@ func (FixedPriority) Name() string { return "NoRandom" }
 // event-driven.
 func (FixedPriority) Quantum() vtime.Duration { return 0 }
 
-// Pick implements engine.GlobalPolicy.
+// Pick implements engine.GlobalPolicy. Runnable returns candidates in
+// decreasing priority order, so the first element is the pick; the engine's
+// runnable set makes this O(active partitions), not O(P).
 func (FixedPriority) Pick(sys *engine.System, _ vtime.Time) *partition.Partition {
-	for _, p := range sys.Partitions {
-		if p.Runnable() {
-			return p
-		}
+	if r := sys.Runnable(); len(r) > 0 {
+		return r[0]
 	}
 	return nil
 }

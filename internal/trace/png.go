@@ -7,6 +7,7 @@ import (
 	"image/png"
 	"io"
 
+	"timedice/internal/stats"
 	"timedice/internal/vtime"
 )
 
@@ -113,6 +114,91 @@ func (r *Recorder) GanttPNG(nPartitions int, cell vtime.Duration, rowHeight int,
 		for x := x0; x < x1 && x < cols; x++ {
 			for y := 0; y < rowHeight-1; y++ { // 1px row separator
 				img.SetRGBA(x, row*rowHeight+y, col)
+			}
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// BoxesPNG renders grouped box-and-whisker plots in the style of Fig. 16:
+// one group per label, one box per series inside each group (series share
+// palette colors). Each box spans Q1..Q3 with a dark median line and a
+// min..max whisker. Values are mapped linearly from zero to the global
+// maximum.
+func BoxesPNG(labels []string, series [][]stats.BoxPlot, w io.Writer) error {
+	if len(series) == 0 || len(labels) == 0 {
+		return fmt.Errorf("trace: empty box plot")
+	}
+	for _, s := range series {
+		if len(s) != len(labels) {
+			return fmt.Errorf("trace: series length %d != %d labels", len(s), len(labels))
+		}
+	}
+	var hi float64
+	for _, s := range series {
+		for _, b := range s {
+			if b.Max > hi {
+				hi = b.Max
+			}
+		}
+	}
+	if hi <= 0 {
+		hi = 1
+	}
+	const (
+		boxW   = 9
+		boxGap = 3
+		grpGap = 14
+		plotH  = 240
+		pad    = 8
+	)
+	grpW := len(series)*(boxW+boxGap) - boxGap
+	width := pad + len(labels)*(grpW+grpGap) - grpGap + pad
+	height := pad + plotH + pad
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			img.SetRGBA(x, y, color.RGBA{0xff, 0xff, 0xff, 0xff})
+		}
+	}
+	yOf := func(v float64) int {
+		if v < 0 {
+			v = 0
+		}
+		y := pad + plotH - int(v/hi*float64(plotH))
+		if y < pad {
+			y = pad
+		}
+		if y > pad+plotH {
+			y = pad + plotH
+		}
+		return y
+	}
+	dark := color.RGBA{0x20, 0x20, 0x20, 0xff}
+	for g := range labels {
+		gx := pad + g*(grpW+grpGap)
+		for si, s := range series {
+			b := s[g]
+			if b.N == 0 {
+				continue
+			}
+			col := palette[si%len(palette)]
+			x0 := gx + si*(boxW+boxGap)
+			mid := x0 + boxW/2
+			// Whisker min..max.
+			for y := yOf(b.Max); y <= yOf(b.Min); y++ {
+				img.SetRGBA(mid, y, dark)
+			}
+			// Box Q1..Q3.
+			for y := yOf(b.Q3); y <= yOf(b.Q1); y++ {
+				for x := x0; x < x0+boxW; x++ {
+					img.SetRGBA(x, y, col)
+				}
+			}
+			// Median line.
+			my := yOf(b.Median)
+			for x := x0; x < x0+boxW; x++ {
+				img.SetRGBA(x, my, dark)
 			}
 		}
 	}

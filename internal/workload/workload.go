@@ -242,3 +242,36 @@ func uuniFast(r *rng.Rand, n int, total float64) []float64 {
 	out[n-1] = sum
 	return out
 }
+
+// Sparse builds an n-partition system with sparse activity: the first three
+// partitions run short-period (hot) workloads while the long tail wakes on
+// second-scale, mutually staggered periods, so at any instant almost every
+// partition is quiescent. Utilization stays low regardless of n, which makes
+// the workload the worst case for per-step O(P) scans: the work to do is
+// constant while the partition universe grows. The scaling benchmarks
+// (BenchmarkEngineStepScale) step this system at P ∈ {2, 8, 64, 256}.
+func Sparse(n int) model.SystemSpec {
+	spec := model.SystemSpec{Name: fmt.Sprintf("sparse-%d", n)}
+	hot := 3
+	if n < hot {
+		hot = n
+	}
+	for i := 0; i < hot; i++ {
+		spec.Partitions = append(spec.Partitions, model.PartitionSpec{
+			Name:   fmt.Sprintf("hot%d", i),
+			Budget: vtime.MS(2), Period: vtime.MS(20),
+			Tasks: []model.TaskSpec{{Name: "t", Period: vtime.MS(20), WCET: vtime.MS(1)}},
+		})
+	}
+	for i := hot; i < n; i++ {
+		// Staggered second-scale periods: cold partitions wake rarely and
+		// almost never together.
+		period := vtime.Second + vtime.Duration(i%97)*vtime.MS(11)
+		spec.Partitions = append(spec.Partitions, model.PartitionSpec{
+			Name:   fmt.Sprintf("cold%d", i),
+			Budget: vtime.MS(1), Period: period,
+			Tasks: []model.TaskSpec{{Name: "t", Period: period, WCET: vtime.Millisecond / 2}},
+		})
+	}
+	return spec
+}
