@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"timedice/internal/experiments"
+	"timedice/internal/obs"
 )
 
 func main() {
@@ -17,12 +18,26 @@ func main() {
 	windows := fs.Int("windows", 2000, "signaled bits per configuration")
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "trial workers: 0 = one per CPU, 1 = sequential")
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	sc := experiments.Scale{TestWindows: *windows, Seed: *seed, Parallel: *parallel}
-	if _, err := experiments.Fig18(sc, os.Stdout); err != nil {
+	ledger, srv, err := obsFlags.Start("blinderbench", fs, nil)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "blinderbench:", err)
+		os.Exit(2)
+	}
+	sc := experiments.Scale{TestWindows: *windows, Seed: *seed, Parallel: *parallel}
+	_, runErr := experiments.Fig18(sc, os.Stdout)
+	if srv != nil {
+		srv.Close() //nolint:errcheck // shutting down
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "blinderbench:", runErr)
+		ledger.Finish(1) //nolint:errcheck // the experiment error dominates
 		os.Exit(1)
+	}
+	if err := ledger.Finish(0); err != nil {
+		fmt.Fprintln(os.Stderr, "blinderbench:", err)
 	}
 }

@@ -7,6 +7,12 @@
 //
 //	covertbench -fig 12 -scale quick
 //	covertbench -fig all -scale full      # paper-scale (slow)
+//
+// Campaign operations: -http serves /metrics, /statusz, /healthz, and
+// /debug/pprof while the experiments run; -progress prints a periodic
+// per-experiment status line to stderr; -runs writes a run.json provenance
+// manifest. All three write off the report stream, so reports stay
+// byte-identical with them on.
 package main
 
 import (
@@ -14,8 +20,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"timedice/internal/experiments"
+	"timedice/internal/obs"
 	"timedice/internal/prof"
 )
 
@@ -33,12 +41,10 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "trial workers: 0 = one per CPU, 1 = sequential")
 	stream := fs.Bool("stream", false, "streaming (constant-memory sketch) aggregation for campaign/fig16; exact is the default")
+	progress := fs.Bool("progress", false, "print a periodic progress line to stderr")
+	obsFlags := obs.AddFlags(fs)
 	pf := prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	stopProf, err := pf.Start()
-	if err != nil {
 		return err
 	}
 	sc := experiments.Quick()
@@ -69,24 +75,56 @@ func run(args []string) error {
 		{"campaign", func() error { _, err := experiments.Campaign(sc, w); return err }},
 	}
 	want := strings.ToLower(*fig)
-	ran := false
+	var selected []runner
 	for _, r := range all {
-		if want != "all" && want != r.name {
-			continue
+		if want == "all" || want == r.name {
+			selected = append(selected, r)
 		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown experiment %q", *fig)
+	}
+
+	// Campaign ops: one Progress "trial" per experiment, the run ledger, and
+	// the exposition server for the duration.
+	prog := obs.NewProgress("covertbench", int64(len(selected)))
+	ledger, srv, err := obsFlags.Start("covertbench", fs, prog)
+	if err != nil {
+		return err
+	}
+	exitCode := 1 // assume failure; flipped to 0 on the success path
+	defer func() {
+		if srv != nil {
+			srv.Close() //nolint:errcheck // shutting down
+		}
+		ledger.Finish(exitCode) //nolint:errcheck // the experiment error dominates
+	}()
+	var stopReport func()
+	if *progress {
+		stopReport = prog.StartReporter(os.Stderr, 2*time.Second)
+		defer stopReport()
+	}
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		return err
+	}
+	for _, r := range selected {
 		fmt.Fprintf(w, "==== experiment %s (scale=%s, seed=%d) ====\n", r.name, *scaleName, *seed)
-		if err := r.fn(); err != nil {
+		prog.TrialStart()
+		start := time.Now()
+		err := r.fn()
+		prog.TrialDone(0, 0, time.Since(start))
+		if err != nil {
 			stopProf()
 			return fmt.Errorf("experiment %s: %w", r.name, err)
 		}
+		ledger.AddCounter("experiments", 1)
 		fmt.Fprintln(w)
-		ran = true
 	}
 	if err := stopProf(); err != nil {
 		return err
 	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", *fig)
-	}
+	exitCode = 0
 	return nil
 }

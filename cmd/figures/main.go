@@ -18,6 +18,7 @@ import (
 	"timedice/internal/engine"
 	"timedice/internal/experiments"
 	"timedice/internal/experiments/runner"
+	"timedice/internal/obs"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
 	"timedice/internal/stats"
@@ -40,12 +41,24 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "render workers: 0 = one per CPU, 1 = sequential")
 	stream := fs.Bool("stream", false, "streaming (constant-memory sketch) aggregation for the Fig. 16 boxes; exact is the default")
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
+	ledger, srv, err := obsFlags.Start("figures", fs, nil)
+	if err != nil {
+		return err
+	}
+	exitCode := 1
+	defer func() {
+		if srv != nil {
+			srv.Close() //nolint:errcheck // shutting down
+		}
+		ledger.Finish(exitCode) //nolint:errcheck // the render error dominates
+	}()
 
 	// The five renders simulate independent systems; fan them out.
 	var renders []func() error
@@ -59,7 +72,17 @@ func run(args []string) error {
 	}
 	// Fig. 16: per-task response-time box plots, NoRandom vs TimeDice.
 	renders = append(renders, func() error { return renderBoxes(*outDir, *seed, *stream) })
-	return runner.Do(*parallel, renders...)
+	if err := runner.Do(*parallel, renders...); err != nil {
+		return err
+	}
+	if abs, err := filepath.Abs(*outDir); err == nil {
+		ledger.AddArtifact(abs)
+	} else {
+		ledger.AddArtifact(*outDir)
+	}
+	ledger.AddCounter("renders", int64(len(renders)))
+	exitCode = 0
+	return nil
 }
 
 // renderBoxes draws the Fig. 16 response-time spreads: one group per Table I

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"timedice/internal/experiments"
+	"timedice/internal/obs"
 	"timedice/internal/prof"
 )
 
@@ -31,10 +32,22 @@ func run(args []string) error {
 	naive := fs.Bool("naive", false, "also run the unprincipled-randomization shortfall comparison")
 	randomness := fs.Bool("entropy", false, "also run the schedule-randomness metrics (slot entropy, exhaustion spread)")
 	parallel := fs.Int("parallel", 1, "trial workers: 0 = one per CPU, 1 = sequential (keeps Table IV latencies noise-free)")
+	obsFlags := obs.AddFlags(fs)
 	pf := prof.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ledger, srv, err := obsFlags.Start("overheadbench", fs, nil)
+	if err != nil {
+		return err
+	}
+	exitCode := 1
+	defer func() {
+		if srv != nil {
+			srv.Close() //nolint:errcheck // shutting down
+		}
+		ledger.Finish(exitCode) //nolint:errcheck // the bench error dominates
+	}()
 	stopProf, err := pf.Start()
 	if err != nil {
 		return err
@@ -56,5 +69,9 @@ func run(args []string) error {
 			return err
 		}
 	}
-	return stopProf()
+	if err := stopProf(); err != nil {
+		return err
+	}
+	exitCode = 0
+	return nil
 }

@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"timedice/internal/experiments"
+	"timedice/internal/obs"
 )
 
 func main() {
@@ -32,6 +34,8 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	parallel := fs.Int("parallel", 0, "trial workers: 0 = one per CPU, 1 = sequential")
 	stream := fs.Bool("stream", false, "streaming (constant-memory sketch) aggregation for campaign/fig16; exact is the default")
+	progress := fs.Bool("progress", false, "print a periodic progress line to stderr")
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,17 +95,46 @@ func run(args []string) error {
 		{"Extension — sender detection", wrap(func(s experiments.Scale, w io.Writer) (any, error) { return experiments.Detection(s, w) })},
 		{"Extension — cross-seed campaign", wrap(func(s experiments.Scale, w io.Writer) (any, error) { return experiments.Campaign(s, w) })},
 	}
+	// Campaign ops: one Progress "trial" per section, the run ledger, and
+	// the exposition server while the (potentially hours-long at -scale
+	// full) report regenerates.
+	prog := obs.NewProgress("report", int64(len(sections)))
+	ledger, srv, err := obsFlags.Start("report", fs, prog)
+	if err != nil {
+		return err
+	}
+	exitCode := 1
+	defer func() {
+		if srv != nil {
+			srv.Close() //nolint:errcheck // shutting down
+		}
+		ledger.Finish(exitCode) //nolint:errcheck // the section error dominates
+	}()
+	if *progress {
+		defer prog.StartReporter(os.Stderr, 2*time.Second)()
+	}
+
 	for _, sec := range sections {
 		fmt.Fprintf(w, "## %s\n\n```\n", sec.title)
+		prog.TrialStart()
 		start := time.Now()
-		if err := sec.fn(sc, w); err != nil {
+		err := sec.fn(sc, w)
+		prog.TrialDone(0, 0, time.Since(start))
+		if err != nil {
 			return fmt.Errorf("%s: %w", sec.title, err)
 		}
+		ledger.AddCounter("sections", 1)
 		fmt.Fprintf(w, "```\n(%.1fs)\n\n", time.Since(start).Seconds())
 	}
 	if *outPath != "-" {
+		if abs, err := filepath.Abs(*outPath); err == nil {
+			ledger.AddArtifact(abs)
+		} else {
+			ledger.AddArtifact(*outPath)
+		}
 		fmt.Fprintln(os.Stderr, "wrote", *outPath)
 	}
+	exitCode = 0
 	return nil
 }
 

@@ -10,6 +10,19 @@
 //
 //	simfuzz -scenarios 10000 -seed 1 -parallel 4
 //
+// Campaign operations (all off the report stream, so the report stays
+// byte-identical whether or not anyone is watching):
+//
+//   - -http :9090 serves /metrics (Prometheus text), /statusz (JSON),
+//     /healthz, and /debug/pprof for the duration of the run.
+//   - -progress prints a periodic one-line status to stderr.
+//   - -runs DIR writes a run.json provenance manifest per invocation
+//     (argv, flags, build info, seeds, digest, headline counters).
+//   - Each worker carries a flight recorder (a bounded ring of the last
+//     -recwindow telemetry events); on a worker panic or an oracle
+//     violation a post-mortem bundle (events JSONL + Chrome trace +
+//     scenario reproducer + meta.json) is dumped under the run directory.
+//
 // Exit status: 0 on a clean campaign, 1 when any oracle fired, 2 on setup
 // errors.
 package main
@@ -19,13 +32,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"timedice/internal/check"
+	"timedice/internal/engine"
 	"timedice/internal/experiments/runner"
 	"timedice/internal/gen"
+	"timedice/internal/obs"
 	"timedice/internal/policies"
 	"timedice/internal/prof"
 	"timedice/internal/rng"
+	"timedice/internal/vtime"
 )
 
 type config struct {
@@ -33,6 +50,18 @@ type config struct {
 	seed      uint64
 	parallel  int
 	shrink    bool
+	window    int    // flight-recorder window, events per worker
+	bundleDir string // where post-mortem bundles land; empty disables them
+
+	prog   *obs.Progress // live campaign state; nil ⇒ campaign makes its own
+	ledger *obs.Run      // run manifest; nil-safe
+
+	// injectFailure, when non-zero, forces trial injectFailure-1 to report
+	// a synthetic oracle violation (1-based so the zero config is inert).
+	// It exists so tests can drive the whole post-mortem path — bundle
+	// dump, replay, digest cross-check — without needing a genuinely broken
+	// scenario in the corpus.
+	injectFailure int
 }
 
 func main() {
@@ -41,19 +70,53 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "master seed; the whole campaign is a pure function of it")
 	flag.IntVar(&cfg.parallel, "parallel", 0, "worker count (<=0: one per CPU); does not affect output")
 	flag.BoolVar(&cfg.shrink, "shrink", true, "minimize the first failing scenario before reporting it")
+	flag.IntVar(&cfg.window, "recwindow", obs.DefaultRecorderWindow, "flight-recorder window per worker, in telemetry events")
+	progress := flag.Bool("progress", false, "print a periodic progress line to stderr")
+	obsFlags := obs.AddFlags(flag.CommandLine)
 	pf := prof.AddFlags(flag.CommandLine)
 	flag.Parse()
-	stopProf, err := pf.Start()
+
+	cfg.prog = obs.NewProgress("simfuzz", int64(cfg.scenarios))
+	run, srv, err := obsFlags.Start("simfuzz", flag.CommandLine, cfg.prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simfuzz:", err)
 		os.Exit(2)
 	}
+	cfg.ledger = run
+	// Bundles land next to run.json when the ledger is on, under the runs
+	// root otherwise; an empty -runs disables both.
+	cfg.bundleDir = run.Dir()
+	if cfg.bundleDir == "" && obsFlags.Runs != "" {
+		cfg.bundleDir = obsFlags.Runs
+	}
+
+	stopProf, err := pf.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simfuzz:", err)
+		run.Finish(2) //nolint:errcheck // exiting anyway
+		os.Exit(2)
+	}
+	var stopReport func()
+	if *progress {
+		stopReport = cfg.prog.StartReporter(os.Stderr, 2*time.Second)
+	}
+
 	code := campaign(cfg, os.Stdout)
+
+	if stopReport != nil {
+		stopReport()
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "simfuzz:", err)
 		if code == 0 {
 			code = 2
 		}
+	}
+	if srv != nil {
+		srv.Close() //nolint:errcheck // shutting down
+	}
+	if err := run.Finish(code); err != nil {
+		fmt.Fprintln(os.Stderr, "simfuzz:", err)
 	}
 	os.Exit(code)
 }
@@ -70,28 +133,55 @@ type trial struct {
 }
 
 func campaign(cfg config, w io.Writer) int {
+	prog := cfg.prog
+	if prog == nil {
+		prog = obs.NewProgress("simfuzz", int64(cfg.scenarios))
+	}
 	master := rng.New(cfg.seed)
 	seeds := make([]uint64, cfg.scenarios)
 	for i := range seeds {
 		seeds[i] = master.Uint64()
 	}
 
-	trials, err := runner.Map(cfg.parallel, seeds, func(i int, seed uint64) (trial, error) {
-		sc := gen.Generate(rng.New(seed), gen.DefaultOptions())
-		suite, err := gen.Run(sc)
-		if err != nil {
-			return trial{}, fmt.Errorf("scenario %d (seed %#x): %w", i, seed, err)
-		}
-		vs, total := suite.Violations()
-		return trial{
-			policy: sc.Policy,
-			events: suite.Events(),
-			digest: suite.Digest(),
-			viol:   vs,
-			total:  total,
-			seed:   seed,
-		}, nil
-	})
+	// One flight recorder per worker: the ring is reset at each trial start,
+	// so after a failure it holds the tail of exactly the failing run.
+	newRecorder := func() (*obs.Recorder, error) { return obs.NewRecorder(cfg.window), nil }
+
+	trials, err := runner.MapPooled(cfg.parallel, newRecorder, seeds,
+		func(rec *obs.Recorder, i int, seed uint64) (tr trial, err error) {
+			prog.TrialStart()
+			start := time.Now()
+			rec.Reset()
+			defer func() {
+				if p := recover(); p != nil {
+					// Dump the live window before the stack unwinds any
+					// further: a worker panic is exactly the case where no
+					// deterministic replay is available.
+					dumpPanicBundle(cfg, i, seed, rec, p)
+					err = fmt.Errorf("scenario %d (seed %#x): panic: %v", i, seed, p)
+				}
+				prog.TrialDone(tr.events, tr.total, time.Since(start))
+			}()
+			sc := gen.Generate(rng.New(seed), gen.DefaultOptions())
+			suite, st, err := gen.RunRecorded(sc, rec)
+			if err != nil {
+				return trial{}, fmt.Errorf("scenario %d (seed %#x): %w", i, seed, err)
+			}
+			prog.AddCache(st.CacheHits, st.CacheMisses)
+			vs, total := suite.Violations()
+			if i+1 == cfg.injectFailure {
+				vs = append(vs, check.Violation{Oracle: "injected", Msg: "forced failure (test hook)"})
+				total++
+			}
+			return trial{
+				policy: sc.Policy,
+				events: suite.Events(),
+				digest: suite.Digest(),
+				viol:   vs,
+				total:  total,
+				seed:   seed,
+			}, nil
+		})
 	if err != nil {
 		fmt.Fprintf(w, "simfuzz: %v\n", err)
 		return 2
@@ -118,6 +208,11 @@ func campaign(cfg config, w io.Writer) int {
 		}
 	}
 
+	cfg.ledger.SetDigest(combined)
+	cfg.ledger.AddCounter("scenarios", int64(cfg.scenarios))
+	cfg.ledger.AddCounter("violations", int64(violations))
+	cfg.ledger.AddCounter("events", events)
+
 	fmt.Fprintf(w, "simfuzz: %d scenarios, seed %d\n", cfg.scenarios, cfg.seed)
 	for _, k := range []policies.Kind{policies.NoRandom, policies.TimeDiceU, policies.TimeDiceW} {
 		fmt.Fprintf(w, "  %-9s %6d scenarios, %d violations\n", k, perPolicy[k], perPolicyViol[k])
@@ -136,6 +231,7 @@ func campaign(cfg config, w io.Writer) int {
 	for _, v := range tr.viol {
 		fmt.Fprintf(w, "  %v\n", v)
 	}
+	dumpViolationBundle(cfg, firstBad, tr)
 	sc := gen.Generate(rng.New(tr.seed), gen.DefaultOptions())
 	if cfg.shrink {
 		sc = gen.Shrink(sc, gen.Fails, 2000)
@@ -144,6 +240,105 @@ func campaign(cfg config, w io.Writer) int {
 		fmt.Fprintf(w, "reproducer (shrunk=%v):\n%s\n", cfg.shrink, blob)
 	}
 	return 1
+}
+
+// dumpViolationBundle re-runs the first failing scenario with a fresh flight
+// recorder and writes the post-mortem bundle. The re-run is the determinism
+// cross-check: the replay's event-stream digest must equal the live trial's,
+// and both land in meta.json so a mismatch is diagnosable from the bundle
+// alone. Failures to write are reported on stderr and otherwise ignored —
+// the campaign verdict never depends on post-mortem IO.
+func dumpViolationBundle(cfg config, index int, tr trial) {
+	if cfg.bundleDir == "" {
+		return
+	}
+	sc := gen.Generate(rng.New(tr.seed), gen.DefaultOptions())
+	rec := obs.NewRecorder(cfg.window)
+	suite, st, err := gen.RunRecorded(sc, rec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simfuzz: post-mortem replay: %v\n", err)
+		return
+	}
+	detail := make([]string, 0, len(tr.viol))
+	for _, v := range tr.viol {
+		detail = append(detail, v.String())
+	}
+	blob, _ := gen.Encode(sc)
+	dir, err := obs.WriteBundle(cfg.bundleDir, obs.BundleInfo{
+		Tool:          "simfuzz",
+		Reason:        obs.ReasonOracleViolation,
+		Detail:        detail,
+		Seed:          tr.seed,
+		TrialIndex:    index,
+		Scenario:      blob,
+		Events:        rec.Window(),
+		EventsTotal:   rec.Total(),
+		EventsDropped: rec.Dropped(),
+		Partitions:    partitionNames(sc),
+		LiveDigest:    tr.digest,
+		ReplayDigest:  suite.Digest(),
+		Counters:      counterMap(st.Counters),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simfuzz: post-mortem bundle: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "simfuzz: post-mortem bundle: %s\n", dir)
+	cfg.ledger.AddArtifact(dir)
+	if suite.Digest() != tr.digest {
+		fmt.Fprintf(os.Stderr, "simfuzz: WARNING: replay digest %#016x != live digest %#016x — nondeterminism\n",
+			suite.Digest(), tr.digest)
+	}
+}
+
+// dumpPanicBundle writes the flight-recorder window of a trial whose worker
+// panicked. Called from the worker's recover, so it must not panic itself.
+func dumpPanicBundle(cfg config, index int, seed uint64, rec *obs.Recorder, p any) {
+	if cfg.bundleDir == "" {
+		return
+	}
+	var blob []byte
+	sc := gen.Generate(rng.New(seed), gen.DefaultOptions())
+	blob, _ = gen.Encode(sc)
+	dir, err := obs.WriteBundle(cfg.bundleDir, obs.BundleInfo{
+		Tool:          "simfuzz",
+		Reason:        obs.ReasonWorkerPanic,
+		Detail:        []string{fmt.Sprint(p)},
+		Seed:          seed,
+		TrialIndex:    index,
+		Scenario:      blob,
+		Events:        rec.Window(),
+		EventsTotal:   rec.Total(),
+		EventsDropped: rec.Dropped(),
+		Partitions:    partitionNames(sc),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simfuzz: post-mortem bundle: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "simfuzz: post-mortem bundle: %s\n", dir)
+	cfg.ledger.AddArtifact(dir)
+}
+
+func partitionNames(sc gen.Scenario) []string {
+	names := make([]string, len(sc.Spec.Partitions))
+	for i, p := range sc.Spec.Partitions {
+		names[i] = p.Name
+	}
+	return names
+}
+
+func counterMap(c engine.Counters) map[string]int64 {
+	return map[string]int64{
+		"decisions":        c.Decisions,
+		"switches":         c.Switches,
+		"idleDecisions":    c.IdleDecisions,
+		"busyMicros":       int64(c.BusyTime / vtime.Microsecond),
+		"idleMicros":       int64(c.IdleTime / vtime.Microsecond),
+		"deadlineMisses":   c.DeadlineMisses,
+		"inversionWindows": c.InversionWindows,
+		"minAdvances":      c.MinAdvances,
+	}
 }
 
 func countFailing(trials []trial) int {

@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -49,5 +53,83 @@ func TestCampaignSeedSensitivity(t *testing.T) {
 	campaign(config{scenarios: 30, seed: 2, parallel: 2}, &b)
 	if bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("campaigns with different seeds produced identical reports")
+	}
+}
+
+// TestForcedViolationBundle drives the post-mortem path end to end: a forced
+// oracle violation makes the campaign exit 1 and dump a bundle whose
+// replayed event digest equals the live run's — the determinism cross-check
+// recorded in meta.json.
+func TestForcedViolationBundle(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		scenarios:     5,
+		seed:          5,
+		parallel:      2,
+		shrink:        false,
+		bundleDir:     dir,
+		injectFailure: 3, // trial index 2 reports a synthetic violation
+	}
+	var out bytes.Buffer
+	if code := campaign(cfg, &out); code != 1 {
+		t.Fatalf("campaign exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "first failing scenario 2") {
+		t.Fatalf("report does not blame trial 2:\n%s", out.String())
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "postmortem-simfuzz-") && strings.HasSuffix(e.Name(), "-oracle-violation") {
+			bundle = filepath.Join(dir, e.Name())
+		}
+	}
+	if bundle == "" {
+		t.Fatalf("no oracle-violation bundle under %s (found %v)", dir, entries)
+	}
+
+	var meta struct {
+		Reason       string   `json:"reason"`
+		TrialIndex   int      `json:"trialIndex"`
+		LiveDigest   string   `json:"liveDigest"`
+		ReplayDigest string   `json:"replayDigest"`
+		Detail       []string `json:"detail"`
+		Files        []string `json:"files"`
+	}
+	mb, err := os.ReadFile(filepath.Join(bundle, "meta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mb, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.TrialIndex != 2 {
+		t.Fatalf("bundle blames trial %d, want 2", meta.TrialIndex)
+	}
+	if meta.LiveDigest == "" || meta.LiveDigest != meta.ReplayDigest {
+		t.Fatalf("replay digest %q != live digest %q — the re-run diverged from the recorded trial", meta.ReplayDigest, meta.LiveDigest)
+	}
+	if len(meta.Detail) == 0 || !strings.Contains(meta.Detail[0], "injected") {
+		t.Fatalf("detail = %v, want the forced violation message", meta.Detail)
+	}
+	// The reproducer and event dumps ride along.
+	for _, f := range []string{"scenario.json", "events.jsonl", "events.trace.json"} {
+		if _, err := os.Stat(filepath.Join(bundle, f)); err != nil {
+			t.Fatalf("bundle file missing: %v", err)
+		}
+	}
+}
+
+// TestBundleDirDisabled: without a bundle dir (empty -runs), a failing
+// campaign still reports but writes nothing.
+func TestBundleDirDisabled(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{scenarios: 3, seed: 5, parallel: 1, injectFailure: 1}
+	if code := campaign(cfg, &out); code != 1 {
+		t.Fatalf("campaign exited %d, want 1", code)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"timedice/internal/analysis"
 	"timedice/internal/experiments"
 	"timedice/internal/model"
+	"timedice/internal/obs"
 	"timedice/internal/workload"
 )
 
@@ -35,7 +36,25 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed for the empirical run")
 	parallel := fs.Int("parallel", 0, "trial workers for the empirical run: 0 = one per CPU, 1 = sequential")
 	configPath := fs.String("config", "", "analyze a JSON system spec instead of Table I (analytic only)")
+	obsFlags := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ledger, srv, err := obsFlags.Start("wcrt", fs, nil)
+	if err != nil {
+		return err
+	}
+	exitCode := 1
+	defer func() {
+		if srv != nil {
+			srv.Close() //nolint:errcheck // shutting down
+		}
+		ledger.Finish(exitCode) //nolint:errcheck // the analysis error dominates
+	}()
+	finish := func(err error) error {
+		if err == nil {
+			exitCode = 0
+		}
 		return err
 	}
 
@@ -52,17 +71,17 @@ func run(args []string) error {
 		if closeErr != nil {
 			return closeErr
 		}
-		return printAnalysis(spec)
+		return finish(printAnalysis(spec))
 	}
 
 	spec := workload.TableI(*alpha, *beta)
 	if *empirical > 0 {
 		sc := experiments.Scale{SimSeconds: *empirical, Seed: *seed, Parallel: *parallel}
 		_, err := experiments.Table02(sc, os.Stdout)
-		return err
+		return finish(err)
 	}
 
-	return printAnalysis(spec)
+	return finish(printAnalysis(spec))
 }
 
 func printAnalysis(spec model.SystemSpec) error {

@@ -200,8 +200,11 @@ func fnvFold(h, v uint64) uint64 {
 	return h
 }
 
-func (s *Suite) hash(e telemetry.Event) {
-	h := s.digest
+// hashEvent folds one event into a running FNV-1a digest. It is the single
+// definition of the event-stream digest: Suite.Digest, simfuzz's combined
+// campaign digest, and the post-mortem replay check (DigestEvents) all
+// derive from it.
+func hashEvent(h uint64, e telemetry.Event) uint64 {
 	h = fnvFold(h, uint64(e.Time))
 	h = fnvFold(h, uint64(e.Kind))
 	h = fnvFold(h, uint64(int64(e.Partition)))
@@ -211,7 +214,23 @@ func (s *Suite) hash(e telemetry.Event) {
 	h = fnvFold(h, uint64(e.Job))
 	h = fnvFold(h, uint64(e.Dur))
 	h = fnvFold(h, uint64(e.Aux))
-	s.digest = h
+	return h
+}
+
+// DigestEvents computes the canonical event-stream digest of a complete
+// stream, identical to what a Suite attached to the live run reports. A
+// post-mortem bundle whose events.jsonl covers the whole run must replay to
+// the live digest — the property the flight-recorder tests pin.
+func DigestEvents(events []telemetry.Event) uint64 {
+	h := uint64(fnvOffset)
+	for _, e := range events {
+		h = hashEvent(h, e)
+	}
+	return h
+}
+
+func (s *Suite) hash(e telemetry.Event) {
+	s.digest = hashEvent(s.digest, e)
 }
 
 // part resolves the event's partition index, reporting out-of-range indices.

@@ -57,6 +57,7 @@ type Cache struct {
 	entries []verdictEntry
 	prefix  []uint64 // prefix[h] = max(stamps[0..h]) for the current decision
 	hits    int64
+	misses  int64
 	// searchValid accumulates, across one candidate search, the minimum
 	// validUntil of every verdict the search consulted. Until that instant —
 	// and as long as no partition is stamped — the whole search outcome
@@ -99,6 +100,7 @@ func (c *Cache) lookup(h int, now vtime.Time) (ok, hit bool) {
 		}
 		return e.ok, true
 	}
+	c.misses++
 	return false, false
 }
 
@@ -110,17 +112,39 @@ func (c *Cache) store(h int, ok bool, validUntil vtime.Time) {
 	}
 }
 
-// Hits returns the number of decisions-level test invocations served from the
+// Hits returns the number of decision-level test invocations served from the
 // cache so far.
 func (c *Cache) Hits() int64 { return c.hits }
 
-// Reset clears every memoized verdict and the hit counter; entries become
-// unreusable at any instant (validUntil −1 precedes every virtual time).
+// Misses returns the number of lookups that found no valid verdict (each
+// miss triggers one Algorithm-3 computation, so misses equals the tests
+// actually run through the cache).
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Lookups returns the total number of cache consultations. Hits and misses
+// partition the lookups exactly: Hits() + Misses() == Lookups() always (a
+// unit test pins this), so the hit ratio reported by /metrics and the
+// tests/decision numbers in HACKING derive from one source.
+func (c *Cache) Lookups() int64 { return c.hits + c.misses }
+
+// HitRatio returns Hits/Lookups, or 0 before any lookup.
+func (c *Cache) HitRatio() float64 {
+	l := c.hits + c.misses
+	if l == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(l)
+}
+
+// Reset clears every memoized verdict and the hit/miss counters; entries
+// become unreusable at any instant (validUntil −1 precedes every virtual
+// time).
 func (c *Cache) Reset() {
 	for i := range c.entries {
 		c.entries[i] = verdictEntry{validUntil: -1}
 	}
 	c.hits = 0
+	c.misses = 0
 }
 
 // schedFixpoint runs the Algorithm-3 busy-interval iteration and returns the

@@ -3,7 +3,10 @@ package core
 import (
 	"testing"
 
+	"timedice/internal/engine"
+	"timedice/internal/rng"
 	"timedice/internal/vtime"
+	"timedice/internal/workload"
 )
 
 // twoPartStates builds a small two-partition snapshot at the given instant:
@@ -140,5 +143,82 @@ func TestCacheFailForever(t *testing.T) {
 	testVerdict(states, 1, now, 0, &tests, &c)
 	if tests != 2 {
 		t.Fatalf("after stamp: %d tests total, want 2", tests)
+	}
+}
+
+// TestCacheHitMissAccounting pins the satellite contract behind the
+// /metrics hit-ratio gauge: hits and misses partition the lookups exactly
+// (Hits + Misses == Lookups after any call sequence), every miss runs
+// exactly one Algorithm-3 computation, and HitRatio derives from the same
+// two counters.
+func TestCacheHitMissAccounting(t *testing.T) {
+	now := vtime.Time(0)
+	states := twoPartStates(now)
+	var c Cache
+
+	stamps := []uint64{1, 1}
+	lookups := 0
+	var tests int64
+	consult := func(h int, at vtime.Time) {
+		c.begin(stamps, 2)
+		testVerdict(states, h, at, 0, &tests, &c)
+		lookups++
+	}
+
+	// Cold, warm, stale, and far-future consultations in one sequence.
+	consult(0, now)                          // miss (cold)
+	consult(1, now)                          // miss (cold)
+	consult(0, now)                          // hit
+	consult(1, now)                          // hit
+	stamps[1] = 2                            // stale partition 1 only
+	consult(0, now)                          // hit (prefix below the stamp)
+	consult(1, now)                          // miss (stamped)
+	consult(1, now.Add(vtime.MS(1_000_000))) // miss (past validUntil)
+
+	if got := c.Lookups(); got != int64(lookups) {
+		t.Fatalf("Lookups() = %d, want the %d consultations made", got, lookups)
+	}
+	if c.Hits()+c.Misses() != c.Lookups() {
+		t.Fatalf("hits %d + misses %d != lookups %d", c.Hits(), c.Misses(), c.Lookups())
+	}
+	if c.Misses() != tests {
+		t.Fatalf("misses %d, but %d Algorithm-3 computations ran — each miss must compute exactly once", c.Misses(), tests)
+	}
+	wantRatio := float64(c.Hits()) / float64(c.Lookups())
+	if got := c.HitRatio(); got != wantRatio {
+		t.Fatalf("HitRatio() = %v, want %v", got, wantRatio)
+	}
+
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 || c.Lookups() != 0 || c.HitRatio() != 0 {
+		t.Fatal("Reset must zero hits, misses, and the derived ratio")
+	}
+}
+
+// TestPolicyStatsCacheMisses pins the policy-level wiring on a real run:
+// with the verdict cache enabled, every Algorithm-3 computation the policy
+// reports (SchedTests) was a cache miss, so Stats.CacheMisses ==
+// Stats.SchedTests and the lookup total is SchedTests + CacheHits.
+func TestPolicyStatsCacheMisses(t *testing.T) {
+	built, err := workload.TableIBase().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewPolicy(WithRand(rng.New(7)))
+	sys, err := engine.New(built.Partitions, pol, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunFor(2 * vtime.Second)
+
+	st := pol.Stats()
+	if st.Decisions == 0 || st.CacheHits == 0 {
+		t.Fatalf("run too quiet to exercise the cache: %+v", st)
+	}
+	if st.CacheMisses != st.SchedTests {
+		t.Fatalf("CacheMisses = %d, SchedTests = %d: with the cache on, every computation must be a miss", st.CacheMisses, st.SchedTests)
+	}
+	if st.CacheHits+st.CacheMisses == 0 {
+		t.Fatal("no lookups recorded")
 	}
 }

@@ -257,6 +257,7 @@ type Stats struct {
 	Decisions     int64
 	SchedTests    int64 // Algorithm-3 computations actually performed
 	CacheHits     int64 // test invocations served by the verdict cache
+	CacheMisses   int64 // cache consultations that computed fresh (hits+misses = lookups)
 	SearchReuses  int64 // decisions whose whole candidate search was reused
 	CandidateSum  int64 // Σ candidate-list sizes, for the mean
 	IdleEligible  int64 // decisions where idling was a candidate
@@ -356,6 +357,7 @@ func (p *Policy) Stats() Stats {
 	st := p.stats
 	if p.cache != nil {
 		st.CacheHits = p.cache.Hits()
+		st.CacheMisses = p.cache.Misses()
 	}
 	return st
 }
@@ -371,6 +373,7 @@ func (p *Policy) ResetStats() {
 	p.stats = Stats{}
 	if p.cache != nil {
 		p.cache.hits = 0
+		p.cache.misses = 0
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"timedice/internal/server"
 	"timedice/internal/stats"
 	"timedice/internal/task"
+	"timedice/internal/telemetry"
 	"timedice/internal/vtime"
 )
 
@@ -103,6 +104,12 @@ type Config struct {
 	ShuffleLocal bool
 
 	Seed uint64
+
+	// Telemetry, when non-nil, receives the simulation's event stream
+	// (slices, decisions, inversion windows) — e.g. an obs.Recorder for
+	// flight-recording a channel trial. Attaching a sink must not change
+	// any Result; TestHarnessTelemetryInvariance pins that.
+	Telemetry telemetry.Sink
 }
 
 func (c *Config) fill() error {

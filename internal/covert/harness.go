@@ -63,6 +63,9 @@ func NewHarness(cfg Config) (*Harness, error) {
 		return nil, err
 	}
 	cs.install(h.sys)
+	if cfg.Telemetry != nil {
+		h.sys.AttachTelemetry(cfg.Telemetry)
+	}
 
 	// Simulate long enough for the last test window's response to land;
 	// responses can spill a few windows past their arrival.

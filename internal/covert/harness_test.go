@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"timedice/internal/policies"
+	"timedice/internal/telemetry"
 )
 
 // sameResult compares the per-trial channel metrics and observation streams
@@ -87,4 +88,36 @@ func TestHarnessMatchesRun(t *testing.T) {
 			}
 		})
 	}
+}
+
+// countingSink counts events; attaching it exercises the full telemetry
+// emission path without retaining anything.
+type countingSink struct{ n int }
+
+func (c *countingSink) Event(telemetry.Event) { c.n++ }
+
+// TestHarnessTelemetryInvariance pins the Config.Telemetry contract: a
+// covert trial with a sink attached (e.g. a flight recorder) decodes to
+// exactly the same Result as one without, and the sink actually observes
+// the simulation.
+func TestHarnessTelemetryInvariance(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Policy = policies.TimeDiceW
+	cfg.ProfileWindows = 60
+	cfg.TestWindows = 120
+
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &countingSink{}
+	cfg.Telemetry = sink
+	recorded, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.n == 0 {
+		t.Fatal("attached telemetry sink observed no events")
+	}
+	sameResult(t, "telemetry-attached", plain, recorded)
 }

@@ -35,6 +35,55 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Pool occupancy monitor: process-wide atomic tallies of what the pools are
+// doing right now, kept unconditionally (a handful of atomic adds around a
+// whole simulation trial is noise). The /metrics exposition of the campaign
+// CLIs reads these to report live worker occupancy without any plumbing
+// through the harnesses.
+var (
+	monStarted  atomic.Int64 // trials claimed
+	monDone     atomic.Int64 // trials finished, success or failure
+	monFailed   atomic.Int64 // trials that returned an error (incl. panics)
+	monInFlight atomic.Int64 // trials executing at this instant
+	monWorkers  atomic.Int64 // pool worker goroutines alive (excl. sequential fast path)
+)
+
+// MonitorSnapshot is one read of the pool occupancy counters.
+type MonitorSnapshot struct {
+	Started  int64 // trials claimed since process start
+	Done     int64 // trials finished (success or failure)
+	Failed   int64 // trials that errored or panicked
+	InFlight int64 // trials executing right now
+	Workers  int64 // pool worker goroutines currently alive
+}
+
+// MonitorState reads the process-wide pool occupancy. Counters are sampled
+// individually, so a snapshot taken mid-claim may be off by one — it is a
+// live gauge, not an accounting source.
+func MonitorState() MonitorSnapshot {
+	return MonitorSnapshot{
+		Started:  monStarted.Load(),
+		Done:     monDone.Load(),
+		Failed:   monFailed.Load(),
+		InFlight: monInFlight.Load(),
+		Workers:  monWorkers.Load(),
+	}
+}
+
+// trialBegin/trialEnd bracket one trial for the occupancy monitor.
+func trialBegin() {
+	monStarted.Add(1)
+	monInFlight.Add(1)
+}
+
+func trialEnd(err error) {
+	monInFlight.Add(-1)
+	monDone.Add(1)
+	if err != nil {
+		monFailed.Add(1)
+	}
+}
+
 // Map runs fn(i, items[i]) for every item and returns the results in input
 // order. workers follows the Workers convention (<= 0 ⇒ GOMAXPROCS); with one
 // worker the items run sequentially on the calling goroutine with no
@@ -69,8 +118,10 @@ func Map[T, R any](workers int, items []T, fn func(i int, item T) (R, error)) ([
 	)
 	for range w {
 		wg.Add(1)
+		monWorkers.Add(1)
 		go func() {
 			defer wg.Done()
+			defer monWorkers.Add(-1)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) || failed.Load() {
@@ -146,8 +197,10 @@ func MapPooled[S, T, R any](workers int, newState func() (S, error), items []T, 
 	}
 	for range w {
 		wg.Add(1)
+		monWorkers.Add(1)
 		go func() {
 			defer wg.Done()
+			defer monWorkers.Add(-1)
 			st, err := safeNew(newState)
 			if err != nil {
 				// Attribute state-construction failure to the next unclaimed
@@ -233,8 +286,10 @@ func ReducePooled[S, T, A any](workers int, newState func() (S, error), newAcc f
 	for slot := range w {
 		accs[slot] = newAcc()
 		wg.Add(1)
+		monWorkers.Add(1)
 		go func() {
 			defer wg.Done()
+			defer monWorkers.Add(-1)
 			st, err := safeNew(newState)
 			if err != nil {
 				fail(int(next.Load()), err)
@@ -265,10 +320,12 @@ func ReducePooled[S, T, A any](workers int, newState func() (S, error), newAcc f
 // safeFold invokes one folding trial with the same panic containment as
 // safeCallPooled.
 func safeFold[S, T, A any](fn func(S, A, int, T) error, st S, acc A, i int, item T) (err error) {
+	trialBegin()
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("runner: trial %d panicked: %v\n%s", i, p, debug.Stack())
 		}
+		trialEnd(err)
 	}()
 	return fn(st, acc, i, item)
 }
@@ -285,10 +342,12 @@ func safeNew[S any](newState func() (S, error)) (st S, err error) {
 
 // safeCallPooled is safeCall for stateful trials.
 func safeCallPooled[S, T, R any](fn func(S, int, T) (R, error), st S, i int, item T) (r R, err error) {
+	trialBegin()
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("runner: trial %d panicked: %v\n%s", i, p, debug.Stack())
 		}
+		trialEnd(err)
 	}()
 	return fn(st, i, item)
 }
@@ -297,10 +356,12 @@ func safeCallPooled[S, T, R any](fn func(S, int, T) (R, error), st S, i int, ite
 // the first-error-wins machinery cancels and drains the pool instead of the
 // process dying inside a worker goroutine.
 func safeCall[T, R any](fn func(int, T) (R, error), i int, item T) (r R, err error) {
+	trialBegin()
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("runner: trial %d panicked: %v\n%s", i, p, debug.Stack())
 		}
+		trialEnd(err)
 	}()
 	return fn(i, item)
 }

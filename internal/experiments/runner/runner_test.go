@@ -346,3 +346,47 @@ func TestReducePooledFirstErrorAndPanic(t *testing.T) {
 		t.Errorf("state error not surfaced: %v", err)
 	}
 }
+
+// TestMonitorCounters pins the occupancy monitor's deltas across one Map and
+// one failing MapPooled batch: Started/Done advance by the trial count,
+// Failed by the error count, and nothing stays in flight afterwards. The
+// counters are process-wide, so the test asserts deltas, not absolutes.
+func TestMonitorCounters(t *testing.T) {
+	before := MonitorState()
+	items := make([]int, 40)
+	if _, err := Map(4, items, func(i, _ int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	_, err := MapPooled(4,
+		func() (struct{}, error) { return struct{}{}, nil },
+		items,
+		func(_ struct{}, i, _ int) (int, error) {
+			if i == 7 {
+				return 0, errors.New("boom")
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("failing batch returned no error")
+	}
+	after := MonitorState()
+	// The failing batch cancels remaining trials after the first error, so
+	// the exact count is scheduling-dependent; the bounds are firm.
+	started := after.Started - before.Started
+	done := after.Done - before.Done
+	if started < 41 || started > 80 {
+		t.Fatalf("started delta = %d, want 41..80 (40 Map trials + 1..40 pooled)", started)
+	}
+	if done != started {
+		t.Fatalf("done delta %d != started delta %d: trials leaked", done, started)
+	}
+	if failed := after.Failed - before.Failed; failed < 1 {
+		t.Fatalf("failed delta = %d, want >= 1", failed)
+	}
+	if after.InFlight != before.InFlight {
+		t.Fatalf("inflight delta = %d, want 0 at rest", after.InFlight-before.InFlight)
+	}
+	if after.Workers != before.Workers {
+		t.Fatalf("workers delta = %d, want 0 at rest", after.Workers-before.Workers)
+	}
+}

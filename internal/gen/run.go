@@ -2,9 +2,11 @@ package gen
 
 import (
 	"timedice/internal/check"
+	"timedice/internal/core"
 	"timedice/internal/engine"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
+	"timedice/internal/telemetry"
 )
 
 // Run simulates the scenario with a full check.Suite attached as the
@@ -13,7 +15,34 @@ import (
 // statistics; the engine's cheap counters are cross-checked against the
 // suite's own event-derived tallies before returning.
 func Run(sc Scenario) (*check.Suite, error) {
-	return run(sc, policies.Options{Quantum: sc.Quantum})
+	suite, _, err := run(sc, policies.Options{Quantum: sc.Quantum}, nil)
+	return suite, err
+}
+
+// RunStats carries a recorded run's aggregates: the engine's cheap counters
+// (for post-mortem bundles) and the TimeDice verdict-cache tallies (for live
+// exposition). CacheHits/CacheMisses are zero under non-caching policies.
+type RunStats struct {
+	Counters               engine.Counters
+	CacheHits, CacheMisses int64
+}
+
+// RunRecorded is Run with an additional telemetry sink — canonically an
+// obs.Recorder flight recorder — attached alongside the oracle suite, and
+// the run's aggregate statistics returned. The extra sink observes the
+// identical event stream the suite digests, so a recorder window covering
+// the whole run replays to suite.Digest().
+func RunRecorded(sc Scenario, extra telemetry.Sink) (*check.Suite, RunStats, error) {
+	suite, sys, err := run(sc, policies.Options{Quantum: sc.Quantum}, extra)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	st := RunStats{Counters: sys.Counters}
+	if cp, ok := sys.Policy.(interface{ Stats() core.Stats }); ok {
+		cs := cp.Stats()
+		st.CacheHits, st.CacheMisses = cs.CacheHits, cs.CacheMisses
+	}
+	return suite, st, nil
 }
 
 // RunUncached is Run with the TimeDice schedulability-verdict cache disabled.
@@ -21,7 +50,8 @@ func Run(sc Scenario) (*check.Suite, error) {
 // from Run's — same digest, same violations, same statistics — which the
 // differential tests pin over the simfuzz scenario corpus.
 func RunUncached(sc Scenario) (*check.Suite, error) {
-	return run(sc, policies.Options{Quantum: sc.Quantum, UncachedTimeDice: true})
+	suite, _, err := run(sc, policies.Options{Quantum: sc.Quantum, UncachedTimeDice: true}, nil)
+	return suite, err
 }
 
 // RunScan is Run with the engine's reference O(P) scan stepping
@@ -30,38 +60,43 @@ func RunUncached(sc Scenario) (*check.Suite, error) {
 // same violations — which the differential tests pin over the scenario
 // corpus.
 func RunScan(sc Scenario) (*check.Suite, error) {
-	return run(sc, policies.Options{Quantum: sc.Quantum}, scanStepping)
+	suite, _, err := run(sc, policies.Options{Quantum: sc.Quantum}, nil, scanStepping)
+	return suite, err
 }
 
 // scanStepping flips the built system to the reference stepping path.
 func scanStepping(sys *engine.System) { sys.ScanStepping = true }
 
-func run(sc Scenario, opts policies.Options, tweaks ...func(*engine.System)) (*check.Suite, error) {
+func run(sc Scenario, opts policies.Options, extra telemetry.Sink, tweaks ...func(*engine.System)) (*check.Suite, *engine.System, error) {
 	suite, err := check.NewSuite(sc.Spec, sc.Policy)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	built, err := sc.Spec.Build()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	pol, err := policies.Build(sc.Policy, built.Partitions, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sys, err := engine.New(built.Partitions, pol, rng.New(sc.Seed))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, tw := range tweaks {
 		tw(sys)
 	}
-	sys.AttachTelemetry(suite)
+	if extra != nil {
+		sys.AttachTelemetry(telemetry.Multi{suite, extra})
+	} else {
+		sys.AttachTelemetry(suite)
+	}
 	sys.RunFor(sc.Horizon)
 	sys.FlushTelemetry()
 	suite.Finish(sys.Now())
 	suite.CheckCounters(&sys.Counters, sc.Horizon)
-	return suite, nil
+	return suite, sys, nil
 }
 
 // Fails reports whether the scenario produces at least one oracle violation

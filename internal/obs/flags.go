@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags is the shared campaign-operations flag set: every campaign CLI
+// registers it so operating a run looks the same everywhere.
+type Flags struct {
+	// HTTP is the -http listen address; empty disables the exposition
+	// server.
+	HTTP string
+	// Runs is the -runs ledger root; empty disables the run manifest.
+	Runs string
+}
+
+// AddFlags registers -http and -runs on fs.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.HTTP, "http", "",
+		"serve /metrics, /statusz, /healthz and /debug/pprof on this address (e.g. :9090) for the duration of the run")
+	fs.StringVar(&f.Runs, "runs", "runs",
+		"directory for run-provenance manifests (run.json per invocation); empty disables the ledger")
+	return f
+}
+
+// Start opens the run ledger entry and the exposition server per the parsed
+// flags. Either (or both) may come back nil when disabled. progress may be
+// nil for CLIs without campaign-level progress; the server then exposes
+// process metrics and pprof only. The server's bound address is announced
+// on stderr so `-http :0` is usable interactively.
+func (f *Flags) Start(tool string, fs *flag.FlagSet, progress *Progress) (*Run, *Server, error) {
+	run, err := StartRun(tool, f.Runs, os.Args)
+	if err != nil {
+		return nil, nil, err
+	}
+	run.RecordFlags(fs)
+	srv, err := StartServer(f.HTTP, progress)
+	if err != nil {
+		run.Finish(2) //nolint:errcheck // the listen error is the one to report
+		return nil, nil, err
+	}
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "%s: obs: serving http://%s/{metrics,statusz,healthz,debug/pprof}\n", tool, srv.Addr())
+	}
+	return run, srv, nil
+}

@@ -1,0 +1,33 @@
+// Package obs is the campaign-operations layer: the observability the
+// simulator fleet itself needs when a run lasts hours instead of
+// milliseconds. It complements internal/telemetry — which observes one
+// simulated system in virtual time — with three wall-clock-side pillars
+// shared by every long-running CLI:
+//
+//   - Flight recorder (Recorder): a bounded ring-buffer telemetry.Sink that
+//     retains the last N scheduler events of a running engine with zero
+//     steady-state allocation. When an oracle fires or a worker panics deep
+//     into a campaign, the window of events that led up to it is still in
+//     memory and is dumped as a post-mortem bundle (WriteBundle) — a
+//     replayable crash dump (Chrome trace + JSONL + scenario + digest)
+//     instead of a bare shrunk reproducer.
+//
+//   - Live exposition (Server, Flags): an optional -http :PORT endpoint
+//     serving Prometheus-text /metrics (campaign progress, worker occupancy,
+//     verdict-cache hit ratio, trial-latency quantiles, heap/GC stats),
+//     /healthz, /statusz (the same Progress snapshot as JSON), and
+//     net/http/pprof — so a 10⁸-scenario sweep can be watched and profiled
+//     without stopping it.
+//
+//   - Run ledger (Run, Manifest): every campaign CLI writes a versioned
+//     run.json manifest (argv, flags, seeds, go version, VCS revision,
+//     start/end time, result digest, headline counters, artifact paths)
+//     into a runs/ directory, giving benchmark trajectories and
+//     differential-digest claims durable provenance.
+//
+// The package deliberately has no dependency on the engine or the policies:
+// it consumes telemetry.Event values and plain counters, so any layer can
+// feed it without import cycles. Everything here is wall-clock-side and
+// never participates in simulation determinism: all output goes to files,
+// stderr, or HTTP responses, never to a CLI's report stream.
+package obs

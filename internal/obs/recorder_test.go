@@ -1,0 +1,164 @@
+package obs_test
+
+import (
+	"testing"
+
+	"timedice/internal/engine"
+	"timedice/internal/obs"
+	"timedice/internal/policies"
+	"timedice/internal/rng"
+	"timedice/internal/telemetry"
+	"timedice/internal/vtime"
+	"timedice/internal/workload"
+)
+
+func evt(i int) telemetry.Event {
+	return telemetry.Event{Time: vtime.Time(i), Kind: telemetry.KindSlice, Partition: i % 3}
+}
+
+// TestRecorderWraparound pins the ring semantics: once full, the window
+// slides — oldest events fall out, Window returns the most recent Cap events
+// in emission order, and Total/Dropped account for every event ever seen.
+func TestRecorderWraparound(t *testing.T) {
+	const window = 8
+	r := obs.NewRecorder(window)
+	if r.Cap() != window || r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatalf("fresh recorder: cap=%d len=%d total=%d dropped=%d", r.Cap(), r.Len(), r.Total(), r.Dropped())
+	}
+
+	// Partially filled: everything retained, in order.
+	for i := 0; i < 5; i++ {
+		r.Event(evt(i))
+	}
+	if r.Len() != 5 || r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("after 5 events: len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	for i, e := range r.Window() {
+		if e != evt(i) {
+			t.Fatalf("window[%d] = %+v, want %+v", i, e, evt(i))
+		}
+	}
+
+	// Push well past capacity: 5+16 = 21 events through an 8-slot ring.
+	for i := 5; i < 21; i++ {
+		r.Event(evt(i))
+	}
+	if r.Len() != window || r.Total() != 21 || r.Dropped() != 21-window {
+		t.Fatalf("after 21 events: len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	win := r.Window()
+	if len(win) != window {
+		t.Fatalf("window length %d, want %d", len(win), window)
+	}
+	for i, e := range win {
+		want := evt(21 - window + i) // the last `window` events, oldest first
+		if e != want {
+			t.Fatalf("window[%d] = %+v, want %+v", i, e, want)
+		}
+	}
+
+	// Reset reuses capacity and zeroes the tallies.
+	r.Reset()
+	if r.Cap() != window || r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after Reset: cap=%d len=%d total=%d dropped=%d", r.Cap(), r.Len(), r.Total(), r.Dropped())
+	}
+	r.Event(evt(99))
+	if got := r.Window(); len(got) != 1 || got[0] != evt(99) {
+		t.Fatalf("post-Reset window = %+v", got)
+	}
+}
+
+// TestRecorderDefaultWindow pins the window<1 fallback.
+func TestRecorderDefaultWindow(t *testing.T) {
+	if got := obs.NewRecorder(0).Cap(); got != obs.DefaultRecorderWindow {
+		t.Fatalf("NewRecorder(0).Cap() = %d, want %d", got, obs.DefaultRecorderWindow)
+	}
+}
+
+// TestRecorderEventZeroAlloc pins the flight recorder's steady-state
+// contract in isolation: emitting into the ring — filling and wrapping alike
+// — allocates nothing.
+func TestRecorderEventZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin runs in the non-race CI lane")
+	}
+	r := obs.NewRecorder(64)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Event(evt(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Recorder.Event allocates %v per call, want 0", allocs)
+	}
+}
+
+// buildRecordedSystem assembles the Table I base system with a flight
+// recorder attached as the telemetry sink — the exact configuration a
+// simfuzz worker runs.
+func buildRecordedSystem(tb testing.TB, kind policies.Kind, rec *obs.Recorder) *engine.System {
+	tb.Helper()
+	built, err := workload.TableIBase().Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pol, err := policies.Build(kind, built.Partitions, policies.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys, err := engine.New(built.Partitions, pol, rng.New(1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys.AttachTelemetry(rec)
+	return sys
+}
+
+// TestEngineStepRecorderZeroAlloc extends the engine's zero-alloc stepping
+// pin to the flight-recorder configuration: with an obs.Recorder attached as
+// the sink, warmed steady-state stepping still allocates nothing.
+func TestEngineStepRecorderZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin runs in the non-race CI lane")
+	}
+	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rec := obs.NewRecorder(obs.DefaultRecorderWindow)
+			sys := buildRecordedSystem(t, kind, rec)
+			sys.RunFor(vtime.Second)
+			allocs := testing.AllocsPerRun(50, func() {
+				sys.RunFor(vtime.Millisecond)
+			})
+			if allocs != 0 {
+				t.Fatalf("stepping with a flight recorder attached allocates %v per ms, want 0", allocs)
+			}
+			if rec.Total() == 0 {
+				t.Fatal("recorder observed no events; the pin exercised nothing")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineStepRecorder is BenchmarkEngineStep with a flight recorder
+// attached: the delta against the nil-sink benchmark is the whole cost of
+// always-on post-mortem capture.
+func BenchmarkEngineStepRecorder(b *testing.B) {
+	for _, kind := range []policies.Kind{policies.NoRandom, policies.TimeDiceW} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rec := obs.NewRecorder(obs.DefaultRecorderWindow)
+			sys := buildRecordedSystem(b, kind, rec)
+			sys.RunFor(vtime.Second)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.RunFor(vtime.Millisecond)
+			}
+		})
+	}
+}

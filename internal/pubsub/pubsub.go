@@ -40,6 +40,10 @@ func (d Delivery) Latency() vtime.Duration { return d.Delivered.Sub(d.Published)
 type Bus struct {
 	// queues[topic][subscriber] = pending messages.
 	queues map[string]map[string][]Message
+	// limits[topic/subscriber] = max pending messages (0 = unbounded).
+	limits map[string]int
+	// dropped counts overwritten messages per (topic, subscriber).
+	dropped map[string]int
 	// audit is the monitor's log of every publish.
 	audit []Message
 	// deliveries counts per (topic, subscriber).
@@ -52,13 +56,29 @@ type Bus struct {
 func NewBus() *Bus {
 	return &Bus{
 		queues:    make(map[string]map[string][]Message),
+		limits:    make(map[string]int),
+		dropped:   make(map[string]int),
 		delivered: make(map[string]int),
 	}
 }
 
-// Subscribe registers subscriber (a partition name) on topic. Messages
-// published after the subscription are queued until collected.
+// Subscribe registers subscriber (a partition name) on topic with an
+// unbounded queue. Messages published after the subscription are queued
+// until collected.
 func (b *Bus) Subscribe(topic, subscriber string) {
+	b.SubscribeBuffered(topic, subscriber, 0)
+}
+
+// SubscribeBuffered registers subscriber on topic with a bounded pending
+// queue of at most limit messages (limit <= 0 means unbounded, identical to
+// Subscribe). When a publish would overflow the bound, the OLDEST pending
+// message is dropped to admit the new one — a stalled consumer loses
+// history, never freshness — and the drop is tallied (Dropped). This models
+// a real OS message service's finite mailboxes: the overt channel degrades
+// under backpressure instead of consuming unbounded kernel memory. Calling
+// it again adjusts the limit of an existing subscription (an already
+// overlong queue is trimmed oldest-first on the next publish).
+func (b *Bus) SubscribeBuffered(topic, subscriber string, limit int) {
 	subs, ok := b.queues[topic]
 	if !ok {
 		subs = make(map[string][]Message)
@@ -67,15 +87,39 @@ func (b *Bus) Subscribe(topic, subscriber string) {
 	if _, ok := subs[subscriber]; !ok {
 		subs[subscriber] = nil
 	}
+	if limit <= 0 {
+		delete(b.limits, topic+"/"+subscriber)
+	} else {
+		b.limits[topic+"/"+subscriber] = limit
+	}
 }
 
-// Publish enqueues payload for every subscriber of topic at instant now.
+// Publish enqueues payload for every subscriber of topic at instant now,
+// applying each subscription's queue bound (drop-oldest).
 func (b *Bus) Publish(topic, publisher string, payload any, now vtime.Time) {
 	msg := Message{Topic: topic, Publisher: publisher, Payload: payload, Published: now}
 	b.audit = append(b.audit, msg)
 	for sub := range b.queues[topic] {
-		b.queues[topic][sub] = append(b.queues[topic][sub], msg)
+		q := append(b.queues[topic][sub], msg)
+		if limit := b.limits[topic+"/"+sub]; limit > 0 && len(q) > limit {
+			drop := len(q) - limit
+			b.dropped[topic+"/"+sub] += drop
+			q = q[drop:]
+		}
+		b.queues[topic][sub] = q
 	}
+}
+
+// Dropped returns how many messages the bound of topic/subscriber has
+// discarded so far (always 0 for unbounded subscriptions).
+func (b *Bus) Dropped(topic, subscriber string) int {
+	return b.dropped[topic+"/"+subscriber]
+}
+
+// Pending returns the number of queued, not-yet-collected messages for
+// topic/subscriber.
+func (b *Bus) Pending(topic, subscriber string) int {
+	return len(b.queues[topic][subscriber])
 }
 
 // Collect drains the pending messages of subscriber on topic at instant now

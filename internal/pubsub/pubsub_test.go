@@ -110,3 +110,96 @@ func TestOvertChannelOnCarPlatform(t *testing.T) {
 		t.Error("audit log incomplete")
 	}
 }
+
+// TestSlowSubscriberDropOldest pins the backpressure semantics of a bounded
+// subscription under a stalled consumer: the queue holds at most the limit,
+// overflow discards the OLDEST pending message (freshness wins), the drops
+// are tallied, and an unbounded subscriber on the same topic is unaffected.
+func TestSlowSubscriberDropOldest(t *testing.T) {
+	b := NewBus()
+	b.SubscribeBuffered("lidar", "stalled", 3)
+	b.Subscribe("lidar", "healthy")
+
+	// The stalled consumer never collects while ten messages arrive.
+	for i := 0; i < 10; i++ {
+		b.Publish("lidar", "sensor", i, vtime.Time(vtime.MS(int64(i))))
+	}
+	if got := b.Pending("lidar", "stalled"); got != 3 {
+		t.Fatalf("stalled queue holds %d, limit is 3", got)
+	}
+	if got := b.Dropped("lidar", "stalled"); got != 7 {
+		t.Fatalf("dropped = %d, want 7", got)
+	}
+	if got := b.Dropped("lidar", "healthy"); got != 0 {
+		t.Fatalf("unbounded subscriber dropped %d, want 0", got)
+	}
+	if got := b.Pending("lidar", "healthy"); got != 10 {
+		t.Fatalf("unbounded queue holds %d, want all 10", got)
+	}
+
+	// When the stalled consumer finally wakes, it receives exactly the
+	// newest `limit` messages, in publish order.
+	got := b.Collect("lidar", "stalled", vtime.Time(vtime.MS(20)))
+	if len(got) != 3 {
+		t.Fatalf("collected %d messages, want 3", len(got))
+	}
+	for k, d := range got {
+		if want := 7 + k; d.Payload != want {
+			t.Errorf("delivery %d payload = %v, want %d (newest three, oldest dropped)", k, d.Payload, want)
+		}
+	}
+	// The audit log still records every publish: drops shed consumer-side
+	// backlog, never the monitor's view.
+	if got := len(b.Audit()); got != 10 {
+		t.Fatalf("audit holds %d messages, want all 10", got)
+	}
+}
+
+// TestSlowSubscriberRecovers: after draining, a bounded subscription keeps
+// working and only re-drops once the bound is exceeded again.
+func TestSlowSubscriberRecovers(t *testing.T) {
+	b := NewBus()
+	b.SubscribeBuffered("ticks", "s", 2)
+	for i := 0; i < 5; i++ {
+		b.Publish("ticks", "p", i, vtime.Time(vtime.MS(int64(i))))
+	}
+	if got := b.Dropped("ticks", "s"); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	b.Collect("ticks", "s", vtime.Time(vtime.MS(6)))
+
+	// Two more fit exactly: no new drops.
+	b.Publish("ticks", "p", 5, vtime.Time(vtime.MS(7)))
+	b.Publish("ticks", "p", 6, vtime.Time(vtime.MS(8)))
+	if got := b.Dropped("ticks", "s"); got != 3 {
+		t.Fatalf("within-bound publishes dropped: %d, want still 3", got)
+	}
+	got := b.Collect("ticks", "s", vtime.Time(vtime.MS(9)))
+	if len(got) != 2 || got[0].Payload != 5 || got[1].Payload != 6 {
+		t.Fatalf("recovered collect = %v", got)
+	}
+	if b.Delivered("ticks", "s") != 4 {
+		t.Fatalf("delivered = %d, want 4 (2 + 2; drops are not deliveries)", b.Delivered("ticks", "s"))
+	}
+}
+
+// TestSubscribeBufferedAdjustLimit: re-subscribing adjusts the bound; a
+// zero limit returns the subscription to unbounded.
+func TestSubscribeBufferedAdjustLimit(t *testing.T) {
+	b := NewBus()
+	b.SubscribeBuffered("t", "s", 1)
+	b.Publish("t", "p", "a", 0)
+	b.Publish("t", "p", "b", 0)
+	if got := b.Dropped("t", "s"); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	b.SubscribeBuffered("t", "s", 0) // now unbounded
+	b.Publish("t", "p", "c", 0)
+	b.Publish("t", "p", "d", 0)
+	if got := b.Pending("t", "s"); got != 3 {
+		t.Fatalf("pending after unbounding = %d, want 3", got)
+	}
+	if got := b.Dropped("t", "s"); got != 1 {
+		t.Fatalf("unbounded publishes dropped: %d, want still 1", got)
+	}
+}

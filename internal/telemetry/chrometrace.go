@@ -40,8 +40,9 @@ func WriteChromeTrace(w io.Writer, events []Event, partitions []string) error {
 	cw.meta("thread_name", invTID, "inversions")
 
 	var invOpen bool
-	var invStart int64
+	var invStart, lastTime int64
 	for _, e := range events {
+		lastTime = int64(e.Time)
 		switch e.Kind {
 		case KindSlice:
 			if e.Partition < 0 || e.Dur <= 0 {
@@ -71,6 +72,14 @@ func WriteChromeTrace(w io.Writer, events []Event, partitions []string) error {
 				cw.instant("budget-depleted", "budget", e.Partition+1, int64(e.Time))
 			}
 		}
+	}
+	// An inversion window still open when the event stream ends is rendered
+	// up to the last event instead of dropped. Whole-run exports never hit
+	// this (FlushTelemetry closes open windows at the horizon); bounded
+	// flight-recorder windows cut off mid-inversion do, and the state
+	// leading into a failure is exactly what a post-mortem trace is for.
+	if invOpen && lastTime >= invStart {
+		cw.slice("inversion (open at stream end)", "inversion", invTID, invStart, lastTime-invStart)
 	}
 	cw.raw("\n]}\n")
 	if cw.err != nil {

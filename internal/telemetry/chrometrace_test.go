@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"timedice/internal/vtime"
+)
+
+// A bounded flight-recorder window can be cut on either side of an
+// inversion pair. The exporter must stay valid JSON and render what it can:
+// a Close without a prior Open is dropped, an Open without a Close is drawn
+// up to the last event in the window.
+func TestChromeTracePartialWindow(t *testing.T) {
+	events := []Event{
+		// Orphan close from an inversion opened before the window started.
+		{Time: vtime.Time(0).Add(vtime.MS(1)), Kind: KindInversionClose},
+		{Time: vtime.Time(0).Add(vtime.MS(2)), Kind: KindSlice, Partition: 0, Dur: vtime.MS(1)},
+		// Opens and never closes: the window ends mid-inversion.
+		{Time: vtime.Time(0).Add(vtime.MS(4)), Kind: KindInversionOpen},
+		{Time: vtime.Time(0).Add(vtime.MS(6)), Kind: KindSlice, Partition: 1, Dur: vtime.MS(1)},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, []string{"P1", "P2"}); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			TS   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var open, closed int
+	for _, e := range trace.TraceEvents {
+		if !strings.HasPrefix(e.Name, "inversion") {
+			continue
+		}
+		if e.Name == "inversion (open at stream end)" {
+			open++
+			if e.TS != 4000 || e.Dur != 2000 {
+				t.Errorf("dangling inversion slice = ts %d dur %d, want ts 4000 dur 2000", e.TS, e.Dur)
+			}
+		} else if e.Name == "inversion" {
+			closed++
+		}
+	}
+	if closed != 0 {
+		t.Errorf("orphan InversionClose produced %d closed slices, want 0", closed)
+	}
+	if open != 1 {
+		t.Errorf("dangling InversionOpen produced %d open-at-end slices, want 1", open)
+	}
+}
+
+// A balanced stream must not grow an extra trailing slice.
+func TestChromeTraceBalancedInversions(t *testing.T) {
+	events := []Event{
+		{Time: vtime.Time(0).Add(vtime.MS(1)), Kind: KindInversionOpen},
+		{Time: vtime.Time(0).Add(vtime.MS(3)), Kind: KindInversionClose},
+		{Time: vtime.Time(0).Add(vtime.MS(5)), Kind: KindSlice, Partition: 0, Dur: vtime.MS(1)},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events, []string{"P1"}); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if strings.Contains(buf.String(), "open at stream end") {
+		t.Errorf("balanced stream emitted a dangling-inversion slice:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"name":"inversion"`) {
+		t.Errorf("balanced stream missing its closed inversion slice:\n%s", buf.String())
+	}
+}
