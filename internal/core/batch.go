@@ -1,0 +1,320 @@
+package core
+
+// This file is the batched Algorithm-3 path: the same candidate search,
+// busy-interval fixpoint, horizon computation, and lottery selection as
+// timedice.go, re-expressed over the engine's struct-of-arrays hot arenas
+// (engine.Hot) instead of a []PartitionState snapshot.
+//
+// Why it exists: under indexed stepping the engine already maintains exact
+// per-partition hot state in contiguous slices (remaining, deadline, supply,
+// budget, period) plus a hierarchical ready bitset. Snapshotting that into
+// PartitionState structs costs an O(P) pointer chase per decision — the
+// dominant term at P=4096+ where a decision touches a handful of partitions.
+// The view path aliases the arenas directly (bind is O(1)), walks runnable
+// partitions through the bitset, and hoists the two loop-invariant terms of
+// Eq. 1–2 out of the fixpoint iteration:
+//
+//   - off[j]       = supply_j − now      (the stream anchor, constant per decision)
+//   - remPrefix[h] = Σ_{j<h} remaining_j (term (b), the hp remaining-budget sum)
+//
+// Both are filled lazily in index order (extend), so a decision that tests up
+// to partition h pays O(h) hoisting total — amortized O(1) per test — and each
+// fixpoint iteration is a straight accumulation over three contiguous slices.
+//
+// Exactness contract: every arithmetic step mirrors schedFixpoint/passHorizon/
+// Select operation-for-operation (including the NextSupply==0 fallback and the
+// float64 lottery weights), so verdicts, candidate lists, and random draws are
+// bit-identical to the AoS reference. TestViewMatchesAoS pins that per
+// function; the indexed-vs-scan digest suite pins it end-to-end, because
+// ScanStepping runs keep using the AoS path against live servers.
+
+import (
+	"timedice/internal/bitset"
+	"timedice/internal/engine"
+	"timedice/internal/partition"
+	"timedice/internal/rng"
+	"timedice/internal/vtime"
+)
+
+// stateView is the per-decision view over the engine's hot arenas. The five
+// state slices and the ready bitset are aliased, never copied; off and
+// remPrefix are policy-owned scratch reused across decisions.
+type stateView struct {
+	remaining []vtime.Duration
+	budget    []vtime.Duration
+	period    []vtime.Duration
+	deadline  []vtime.Time
+	supply    []vtime.Time
+	ready     *bitset.Hier
+
+	now vtime.Time
+
+	// Hoisted per-decision terms, valid for indices < hoistN.
+	off       []vtime.Duration // supplyAt(j) − now
+	remPrefix []vtime.Duration // Σ_{j<h} remaining[j]
+	hoistN    int
+}
+
+// bind aliases the arena view for one decision at instant now. O(1) apart
+// from one-time scratch growth.
+func (v *stateView) bind(hot engine.Hot, now vtime.Time) {
+	v.remaining = hot.Remaining
+	v.budget = hot.Budget
+	v.period = hot.Period
+	v.deadline = hot.Deadline
+	v.supply = hot.Supply
+	v.ready = hot.Ready
+	v.now = now
+	n := len(hot.Remaining)
+	if cap(v.off) < n {
+		v.off = make([]vtime.Duration, n)
+		v.remPrefix = make([]vtime.Duration, n)
+	}
+	v.off = v.off[:n]
+	v.remPrefix = v.remPrefix[:n]
+	v.hoistN = 0
+}
+
+func (v *stateView) n() int { return len(v.remaining) }
+
+// supplyAt mirrors PartitionState.supplyTime: the earliest future budget gain,
+// defaulting to the replenishment deadline when the supply anchor is unset.
+func (v *stateView) supplyAt(j int) vtime.Time {
+	if v.supply[j] != 0 {
+		return v.supply[j]
+	}
+	return v.deadline[j]
+}
+
+// extend fills off and remPrefix up through index h. Tests run in increasing
+// h, so across one decision the total work is O(max h), not O(h) per test.
+func (v *stateView) extend(h int) {
+	for j := v.hoistN; j <= h; j++ {
+		if j == 0 {
+			v.remPrefix[0] = 0
+		} else {
+			v.remPrefix[j] = v.remPrefix[j-1] + v.remaining[j-1]
+		}
+		v.off[j] = v.supplyAt(j).Sub(v.now)
+	}
+	if h+1 > v.hoistN {
+		v.hoistN = h + 1
+	}
+}
+
+// fixpoint is schedFixpoint over the arena view: the Algorithm-3 busy-interval
+// iteration for partition h under an inversion of w. Callers must extend(h)
+// first. The interference accumulation runs over the contiguous off/period/
+// budget prefixes, with the remaining-budget sum served from remPrefix.
+func (v *stateView) fixpoint(h int, w vtime.Duration) (ok bool, cur, deadline vtime.Duration) {
+	active := v.remaining[h] > 0
+	w0 := w + v.remPrefix[h]
+	if active {
+		w0 += v.remaining[h]
+		deadline = v.deadline[h].Sub(v.now)
+	} else {
+		deadline = v.deadline[h].Add(v.period[h]).Sub(v.now)
+	}
+	if w0 > deadline {
+		return false, 0, deadline
+	}
+	off := v.off[:h]
+	per := v.period[:h]
+	bud := v.budget[:h]
+	cur = w0
+	for {
+		next := w0
+		for j, o := range off {
+			next += vtime.Duration(vtime.CeilDiv(cur-o, per[j])) * bud[j]
+		}
+		if !active {
+			next += vtime.Duration(vtime.CeilDiv(cur-v.off[h], v.period[h])) * v.budget[h]
+		}
+		if next > deadline {
+			return false, cur, deadline
+		}
+		if next == cur {
+			return true, cur, deadline
+		}
+		cur = next
+	}
+}
+
+// horizon is passHorizon over the view: how far past now a passing verdict for
+// h stays exact. Callers must extend(h) first.
+func (v *stateView) horizon(h int, cur, deadline vtime.Duration) vtime.Duration {
+	horizon := deadline - cur
+	for j := 0; j <= h; j++ {
+		if j == h && v.remaining[h] > 0 {
+			break
+		}
+		o := v.off[j]
+		arr := o + vtime.Duration(vtime.CeilDiv(cur-o, v.period[j]))*v.period[j]
+		if gap := arr - cur; gap < horizon {
+			horizon = gap
+		}
+	}
+	return horizon
+}
+
+// testVerdict is the cache-aware test front end over the view, sharing Cache
+// (and therefore verdict validity and hit accounting) with the AoS path.
+func (v *stateView) testVerdict(h int, w vtime.Duration, testsRun *int64, cache *Cache) bool {
+	if cache != nil {
+		if ok, hit := cache.lookup(h, v.now); hit {
+			return ok
+		}
+	}
+	if testsRun != nil {
+		*testsRun++
+	}
+	v.extend(h)
+	ok, cur, deadline := v.fixpoint(h, w)
+	if cache != nil {
+		validUntil := vtime.Infinity // FAIL holds for the rest of the epoch
+		if ok {
+			validUntil = v.now.Add(v.horizon(h, cur, deadline))
+		}
+		cache.store(h, ok, validUntil)
+	}
+	return ok
+}
+
+// search is candidateSearch over the view. Instead of scanning all P states
+// for the Runnable flag, it walks the set bits of the ready set — O(occupied
+// groups + runnable) — and runs the same incremental coverage of the
+// partitions between candidates.
+func (v *stateView) search(w vtime.Duration, scratch []int, cache *Cache) SearchResult {
+	res := SearchResult{Candidates: scratch[:0]}
+	examined := 0
+	first := true
+	failed := false
+	v.ready.ForEachSet(func(i int) bool {
+		if first {
+			res.Candidates = append(res.Candidates, i)
+			if examined < i {
+				examined = i
+			}
+			first = false
+			return true
+		}
+		for h := examined; h < i; h++ {
+			if !v.testVerdict(h, w, &res.Tests, cache) {
+				failed = true
+				return false
+			}
+			examined = h + 1
+		}
+		res.Candidates = append(res.Candidates, i)
+		if examined < i {
+			examined = i
+		}
+		return true
+	})
+	if failed || first {
+		return res
+	}
+	idleOK := true
+	for h := examined; h < v.n(); h++ {
+		if !v.testVerdict(h, w, &res.Tests, cache) {
+			idleOK = false
+			break
+		}
+		examined = h + 1
+	}
+	res.IdleOK = idleOK
+	return res
+}
+
+// selectFrom is Select over the view: identical option counting, weight
+// arithmetic, and random-stream consumption, reading the candidates' draining
+// budgets and deadlines straight from the arenas (which are live, so reused
+// searches need no per-candidate refresh).
+func (v *stateView) selectFrom(res SearchResult, mode SelectionMode, rnd *rng.Rand, weights []float64) int {
+	n := len(res.Candidates)
+	options := n
+	if res.IdleOK {
+		options++
+	}
+	if options == 0 {
+		panic("core: selectFrom with no options")
+	}
+	if mode == SelectUniform {
+		k := rnd.Intn(options)
+		if k == n {
+			return IdleChoice
+		}
+		return res.Candidates[k]
+	}
+	weights = weights[:0]
+	var sum float64
+	for _, i := range res.Candidates {
+		den := v.deadline[i].Sub(v.now)
+		var u float64
+		if den > 0 {
+			u = float64(v.remaining[i]) / float64(den)
+		}
+		weights = append(weights, u)
+		sum += u
+	}
+	if res.IdleOK {
+		idleW := 1 - sum
+		if idleW < 0 {
+			idleW = 0
+		}
+		weights = append(weights, idleW)
+	}
+	k := rnd.WeightedIndex(weights)
+	if k == n {
+		return IdleChoice
+	}
+	return res.Candidates[k]
+}
+
+// pickView is Pick's decision body under indexed stepping: alias the arenas,
+// reuse or rerun the search, select. The search-reuse fast path is even
+// cheaper than the AoS one — the arenas are live, so the candidates'
+// remaining/deadline values selection reads need no refresh at all.
+func (p *Policy) pickView(sys *engine.System, now vtime.Time, rnd *rng.Rand) *partition.Partition {
+	v := &p.view
+	v.bind(sys.Hot(), now)
+	var res SearchResult
+	if reuse, maxStamp := p.searchReusable(sys, now); reuse {
+		res = SearchResult{Candidates: p.scratch, IdleOK: p.searchIdle}
+		p.stats.SearchReuses++
+	} else {
+		if p.cache != nil {
+			p.cache.begin(sys.StateStamps(), v.n())
+		}
+		res = v.search(p.quantum, p.scratch, p.cache)
+		p.scratch = res.Candidates
+		if p.cache != nil {
+			p.searchInit = true
+			p.searchIdle = res.IdleOK
+			p.searchStamp = maxStamp
+			p.searchValid = p.cache.searchValid
+			p.searchLen = v.n()
+		}
+	}
+	p.stats.SchedTests += res.Tests
+	p.stats.CandidateSum += int64(len(res.Candidates))
+	p.lastCandidates, p.lastTests = int64(len(res.Candidates)), res.Tests
+	if res.IdleOK {
+		p.stats.IdleEligible++
+	}
+	if len(res.Candidates) == 0 {
+		return nil
+	}
+	if cap(p.weights) < v.n()+1 {
+		p.weights = make([]float64, 0, v.n()+1)
+	}
+	choice := v.selectFrom(res, p.mode, rnd, p.weights)
+	if choice == IdleChoice {
+		p.stats.IdleSelected++
+		return nil
+	}
+	if choice != res.Candidates[0] {
+		p.stats.InversionsWon++
+	}
+	return sys.Partitions[choice]
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"timedice/internal/bitset"
+	"timedice/internal/rng"
+	"timedice/internal/vtime"
+)
+
+// viewFromStates builds a stateView (plus its ready bitset) holding exactly
+// the same facts as the AoS snapshot, the way the engine arenas would.
+func viewFromStates(states []PartitionState, now vtime.Time) *stateView {
+	n := len(states)
+	v := &stateView{
+		remaining: make([]vtime.Duration, n),
+		budget:    make([]vtime.Duration, n),
+		period:    make([]vtime.Duration, n),
+		deadline:  make([]vtime.Time, n),
+		supply:    make([]vtime.Time, n),
+		ready:     bitset.New(n),
+		now:       now,
+		off:       make([]vtime.Duration, n),
+		remPrefix: make([]vtime.Duration, n),
+	}
+	for i := range states {
+		s := &states[i]
+		v.remaining[i] = s.Remaining
+		v.budget[i] = s.Budget
+		v.period[i] = s.Period
+		v.deadline[i] = s.NextReplenish
+		v.supply[i] = s.NextSupply
+		if s.Runnable {
+			v.ready.Set(i)
+		}
+	}
+	return v
+}
+
+// randomStates generates a priority-ordered system snapshot with a mix of
+// active/inactive, runnable/blocked partitions, supply anchors both set and
+// unset (the NextSupply==0 fallback), and occasional sporadic early chunks.
+func randomStates(r *rng.Rand, n int, now vtime.Time) []PartitionState {
+	states := make([]PartitionState, n)
+	for i := range states {
+		period := vtime.Duration(1+r.Intn(50)) * vtime.Millisecond
+		budget := vtime.Duration(1+r.Intn(int(period/vtime.Millisecond))) * vtime.Millisecond / 2
+		if budget <= 0 {
+			budget = vtime.Millisecond / 2
+		}
+		st := PartitionState{Budget: budget, Period: period}
+		// Deadline lands somewhere in (now, now+period].
+		st.NextReplenish = now.Add(vtime.Duration(1 + r.Intn(int(period))))
+		switch r.Intn(4) {
+		case 0: // inactive
+		case 1: // active, blocked (no ready work)
+			st.Remaining = vtime.Duration(1 + r.Intn(int(budget)))
+		default: // active and runnable
+			st.Remaining = vtime.Duration(1 + r.Intn(int(budget)))
+			st.Runnable = true
+		}
+		st.Active = st.Remaining > 0
+		switch r.Intn(3) {
+		case 0:
+			st.NextSupply = 0 // unset: falls back to NextReplenish
+		case 1:
+			st.NextSupply = st.NextReplenish
+		default: // sporadic chunk strictly before the deadline
+			st.NextSupply = now.Add(vtime.Duration(1 + r.Intn(int(st.NextReplenish.Sub(now)))))
+		}
+		states[i] = st
+	}
+	return states
+}
+
+// TestViewMatchesAoS is the differential pin for the batched path: on random
+// snapshots, the view fixpoint, the full candidate search (cached and
+// uncached), and the lottery selection must reproduce the AoS reference
+// bit-for-bit — same verdicts, same candidates, same test counts, same random
+// draws.
+func TestViewMatchesAoS(t *testing.T) {
+	r := rng.New(0xd1ce)
+	now := vtime.Time(17 * vtime.Millisecond)
+	w := DefaultQuantum
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(24)
+		states := randomStates(r, n, now)
+		v := viewFromStates(states, now)
+
+		// Per-partition fixpoint verdicts.
+		v.extend(n - 1)
+		for h := 0; h < n; h++ {
+			aok, acur, adl := schedFixpoint(states, h, now, w)
+			vok, vcur, vdl := v.fixpoint(h, w)
+			if aok != vok || acur != vcur || adl != vdl {
+				t.Fatalf("trial %d h=%d: fixpoint (%v,%v,%v) vs view (%v,%v,%v)",
+					trial, h, aok, acur, adl, vok, vcur, vdl)
+			}
+			if aok {
+				ah := passHorizon(states, h, now, acur, adl)
+				vh := v.horizon(h, vcur, vdl)
+				if ah != vh {
+					t.Fatalf("trial %d h=%d: passHorizon %v vs view %v", trial, h, ah, vh)
+				}
+			}
+		}
+
+		// Uncached search.
+		ares := candidateSearch(states, now, w, nil, nil)
+		vres := v.search(w, nil, nil)
+		compareSearch(t, trial, "uncached", ares, vres)
+
+		// Cached search: two fresh caches fed identical stamps must behave
+		// identically (verdicts, hit/miss counts, searchValid).
+		stamps := make([]uint64, n)
+		for i := range stamps {
+			stamps[i] = uint64(r.Intn(5))
+		}
+		ac, vc := &Cache{}, &Cache{}
+		ac.begin(stamps, n)
+		vc.begin(stamps, n)
+		ares = candidateSearch(states, now, w, nil, ac)
+		vres = v.search(w, nil, vc)
+		compareSearch(t, trial, "cached", ares, vres)
+		if ac.Hits() != vc.Hits() || ac.Misses() != vc.Misses() || ac.searchValid != vc.searchValid {
+			t.Fatalf("trial %d: cache divergence: AoS %d/%d valid %v, view %d/%d valid %v",
+				trial, ac.Hits(), ac.Misses(), ac.searchValid, vc.Hits(), vc.Misses(), vc.searchValid)
+		}
+
+		// Selection: identical seeds must yield identical choices in both
+		// modes (weighted exercises the float weight arithmetic).
+		if len(ares.Candidates) > 0 || ares.IdleOK {
+			for _, mode := range []SelectionMode{SelectWeighted, SelectUniform} {
+				seed := uint64(trial)*2 + uint64(mode)
+				got := v.selectFrom(vres, mode, rng.New(seed), nil)
+				want := Select(states, ares, now, mode, rng.New(seed), nil)
+				if got != want {
+					t.Fatalf("trial %d mode %v: selectFrom = %d, Select = %d", trial, mode, got, want)
+				}
+			}
+		}
+	}
+}
+
+func compareSearch(t *testing.T, trial int, ctx string, a, b SearchResult) {
+	t.Helper()
+	if a.IdleOK != b.IdleOK || a.Tests != b.Tests || len(a.Candidates) != len(b.Candidates) {
+		t.Fatalf("trial %d %s: AoS (cand %d, idle %v, tests %d) vs view (cand %d, idle %v, tests %d)",
+			trial, ctx, len(a.Candidates), a.IdleOK, a.Tests, len(b.Candidates), b.IdleOK, b.Tests)
+	}
+	for k := range a.Candidates {
+		if a.Candidates[k] != b.Candidates[k] {
+			t.Fatalf("trial %d %s: candidate[%d] = %d vs %d", trial, ctx, k, a.Candidates[k], b.Candidates[k])
+		}
+	}
+}
+
+// TestViewExtendLazy pins the amortization property: a search that tests only
+// a prefix of the system must hoist only that prefix (plus the candidates'
+// own entries), never all P.
+func TestViewExtendLazy(t *testing.T) {
+	const n = 4096
+	now := vtime.Time(5 * vtime.Millisecond)
+	states := make([]PartitionState, n)
+	for i := range states {
+		states[i] = PartitionState{
+			Budget:        vtime.Millisecond,
+			Period:        20 * vtime.Millisecond,
+			NextReplenish: now.Add(10 * vtime.Millisecond),
+		}
+	}
+	// Only partitions 3 and 7 runnable: the search tests h in [3,7) and then
+	// idle coverage h in [7,n) — but a failing test at h=8 stops it early.
+	states[3].Remaining = vtime.Millisecond
+	states[3].Runnable = true
+	states[3].Active = true
+	states[7].Remaining = vtime.Millisecond
+	states[7].Runnable = true
+	states[7].Active = true
+	// Make h=8 fail: inactive with an already-passed effective deadline is
+	// impossible (deadline includes +Period), so overload it instead — huge
+	// remaining demand above it cannot fit. Simplest: give h=8 a deadline so
+	// tight the base term misses it.
+	states[8].Remaining = 9 * vtime.Millisecond
+	states[8].Active = true
+	states[8].NextReplenish = now.Add(2 * vtime.Millisecond)
+	v := viewFromStates(states, now)
+	res := v.search(DefaultQuantum, nil, nil)
+	if len(res.Candidates) != 2 || res.IdleOK {
+		t.Fatalf("unexpected search result: %+v", res)
+	}
+	if v.hoistN > 16 {
+		t.Fatalf("hoistN = %d after a prefix-only search; lazy extension is broken", v.hoistN)
+	}
+	aos := candidateSearch(states, now, DefaultQuantum, nil, nil)
+	compareSearch(t, 0, "lazy", aos, res)
+}

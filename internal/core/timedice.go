@@ -273,6 +273,7 @@ type Policy struct {
 
 	stats   Stats
 	states  []PartitionState
+	view    stateView // batched arena view (batch.go), used under indexed stepping
 	scratch []int
 	weights []float64
 	cache   *Cache // nil when the verdict cache is disabled
@@ -287,6 +288,7 @@ type Policy struct {
 	searchIdle  bool
 	searchStamp uint64
 	searchValid vtime.Time
+	searchLen   int // partition count the stored search covered
 
 	lastCandidates int64
 	lastTests      int64
@@ -389,6 +391,7 @@ func (p *Policy) Reset() {
 	p.searchIdle = false
 	p.searchStamp = 0
 	p.searchValid = 0
+	p.searchLen = 0
 	if p.cache != nil {
 		p.cache.Reset()
 	}
@@ -421,7 +424,7 @@ func (p *Policy) searchReusable(sys *engine.System, now vtime.Time) (bool, uint6
 	// Epoch is by construction the maximum of the per-partition stamps, so
 	// the staleness check is O(1) instead of an O(P) scan.
 	m := sys.Epoch()
-	if p.cache == nil || !p.searchInit || len(p.states) != len(sys.Partitions) {
+	if p.cache == nil || !p.searchInit || p.searchLen != len(sys.Partitions) {
 		return false, m
 	}
 	return (cacheIgnoresInvalidation || m == p.searchStamp) && now <= p.searchValid, m
@@ -448,13 +451,20 @@ func (p *Policy) refreshStates(sys *engine.System) {
 	}
 }
 
-// Pick implements engine.GlobalPolicy: one full TimeDice decision.
+// Pick implements engine.GlobalPolicy: one full TimeDice decision. Under
+// indexed stepping it runs the batched arena-view path (batch.go); under
+// ScanStepping it runs the AoS reference below, whose snapshot re-reads every
+// live server — the differential digest suite pins the two paths (and hence
+// the engine's arena publication discipline) to byte-identical schedules.
 func (p *Policy) Pick(sys *engine.System, now vtime.Time) *partition.Partition {
 	rnd := p.rnd
 	if rnd == nil {
 		rnd = sys.Rand
 	}
 	p.stats.Decisions++
+	if !sys.ScanStepping {
+		return p.pickView(sys, now, rnd)
+	}
 
 	var res SearchResult
 	if reuse, maxStamp := p.searchReusable(sys, now); reuse {
@@ -480,6 +490,7 @@ func (p *Policy) Pick(sys *engine.System, now vtime.Time) *partition.Partition {
 			p.searchIdle = res.IdleOK
 			p.searchStamp = maxStamp
 			p.searchValid = p.cache.searchValid
+			p.searchLen = len(p.states)
 		}
 	}
 	p.stats.SchedTests += res.Tests

@@ -133,21 +133,39 @@ func buildSparse(tb testing.TB, n int, scan bool) *engine.System {
 // workload: one op advances the warmed system by one simulated millisecond.
 // The amount of schedulable work is constant across P, so the indexed
 // variant should stay near-flat while the scan variant grows linearly —
-// the gap at P=64/256 is the tentpole speedup BENCH_scale.json records.
+// the gap (≥10× at P=4096, CI-gated) is the tentpole speedup
+// BENCH_scale.json records.
+//
+// Besides ns/op, each run reports B/qpart-step: the engine's deterministic
+// cache-traffic proxy (Counters.ArenaBytesTouched) per step per quiescent
+// partition (P−3 of the sparse workload's partitions are cold at any given
+// millisecond). Indexed stepping never visits a quiescent partition, so the
+// metric falls toward 0 as P grows; scan stepping pays a full visit per
+// partition per step, so it stays flat — the per-partition cache-line story
+// behind the ns/op curves.
 func BenchmarkEngineStepScale(b *testing.B) {
-	for _, n := range []int{2, 8, 64, 256} {
+	for _, n := range []int{2, 8, 64, 256, 1024, 4096, 16384} {
 		for _, mode := range []struct {
 			name string
 			scan bool
 		}{{"indexed", false}, {"scan", true}} {
 			b.Run(fmt.Sprintf("P%d/%s", n, mode.name), func(b *testing.B) {
 				sys := buildSparse(b, n, mode.scan)
-				// Warm past every cold partition's first replenishment cycle.
-				sys.RunFor(3 * vtime.Second)
+				// Warm past two full cycles of the slowest cold partition
+				// (period up to ~2.06s) so job freelists reach steady state.
+				sys.RunFor(5 * vtime.Second)
 				b.ReportAllocs()
+				before := sys.Counters
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					sys.RunFor(vtime.Millisecond)
+				}
+				b.StopTimer()
+				// One decision per step, so Decisions counts steps exactly.
+				steps := sys.Counters.Decisions - before.Decisions
+				bytes := sys.Counters.ArenaBytesTouched - before.ArenaBytesTouched
+				if quiescent := n - 3; quiescent > 0 && steps > 0 {
+					b.ReportMetric(float64(bytes)/float64(steps)/float64(quiescent), "B/qpart-step")
 				}
 			})
 		}
@@ -155,8 +173,8 @@ func BenchmarkEngineStepScale(b *testing.B) {
 }
 
 // TestEngineScaleZeroAlloc pins the allocation contract of the indexed
-// stepping path at scale: once warmed, stepping a 64- and a 256-partition
-// sparse system allocates nothing.
+// stepping path at scale: once warmed, stepping sparse systems up to
+// P=16384 allocates nothing.
 func TestEngineScaleZeroAlloc(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation pin skipped in -short")
@@ -164,10 +182,11 @@ func TestEngineScaleZeroAlloc(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; the pin runs in the non-race CI lane")
 	}
-	for _, n := range []int{64, 256} {
+	for _, n := range []int{64, 256, 1024, 16384} {
 		t.Run(fmt.Sprintf("P%d", n), func(t *testing.T) {
 			sys := buildSparse(t, n, false)
-			sys.RunFor(3 * vtime.Second)
+			// Two full cycles of the slowest cold partition (~2.06s period).
+			sys.RunFor(5 * vtime.Second)
 			allocs := testing.AllocsPerRun(50, func() {
 				sys.RunFor(10 * vtime.Millisecond)
 			})

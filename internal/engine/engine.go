@@ -14,10 +14,10 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 	"slices"
 	"time"
 
+	"timedice/internal/bitset"
 	"timedice/internal/eventq"
 	"timedice/internal/partition"
 	"timedice/internal/rng"
@@ -105,7 +105,30 @@ type Counters struct {
 	// policies never trigger it — the simfuzz oracles treat a non-zero count
 	// as a violation — so it is a tripwire for misbehaving custom policies.
 	MinAdvances int64
+
+	// ArenaBytesTouched is a deterministic proxy for the step loop's cache
+	// traffic: bytes of engine-owned hot state (arena slots, heap nodes,
+	// bitset words) the stepping algorithm reads or writes per step, charging
+	// one 64-byte line for every pointer-chased partition visit (deliver,
+	// NoteIdle, execute). It is not a hardware measurement — it counts what
+	// the algorithm touches, so a quiescent partition costs zero bytes in
+	// indexed mode and a full visit per step in scan mode, which is exactly
+	// the contrast BenchmarkEngineStepScale's B/qpart metric and the obs
+	// /metrics arena-bytes exposition quantify. Always maintained (a handful
+	// of integer adds per step, no memory traffic of its own).
+	ArenaBytesTouched int64
 }
+
+// Cache-traffic proxy constants for Counters.ArenaBytesTouched. The arena
+// stride is one partition's slot across the four hot arrays the engine owns
+// (nextEv + remaining + deadline + supply, 8 bytes each); a partition visit
+// charges one cache line for the pointer chase into its server and local
+// scheduler; a heap node is one IndexMin slot (int32 id + 8-byte key).
+const (
+	arenaStrideBytes = 4 * 8
+	partVisitBytes   = 64
+	heapNodeBytes    = 12
+)
 
 // System is a complete simulated system: partitions under one global policy.
 type System struct {
@@ -153,13 +176,36 @@ type System struct {
 	// the earliest future event?" (MinKey) — in time proportional to the
 	// answer instead of O(P).
 	evq *eventq.IndexMin
-	// readyMask is a bitset over partition indices with bit i set iff
-	// Partitions[i].Runnable() (active server ∧ ready work). It is refreshed
-	// at the only sites where runnability can change — event delivery and
-	// execution — and backs Runnable and the inversion scan in indexed mode.
-	// NoteIdle never flips a bit: it only fires on partitions with no ready
-	// work, which are not runnable before or after the discard.
-	readyMask []uint64
+	// ready is a two-level hierarchical bitset over partition indices with
+	// bit i set iff Partitions[i].Runnable() (active server ∧ ready work). It
+	// is refreshed at the only sites where runnability can change — event
+	// delivery and execution — and backs Runnable, FirstRunnable, and the
+	// inversion scan in indexed mode. Scans descend only into occupied
+	// 64-partition groups, so at P=16384 with a handful of runnable
+	// partitions a walk touches the 4 summary words plus one or two group
+	// words instead of 256. NoteIdle never flips a bit: it only fires on
+	// partitions with no ready work, which are not runnable before or after
+	// the discard.
+	ready *bitset.Hier
+	// hotRemaining/hotDeadline/hotSupply are the struct-of-arrays hot-state
+	// arenas: contiguous mirrors of each partition's B_i(t), budget deadline
+	// d_{i,t}, and earliest future supply instant, refreshed at exactly the
+	// sites that can move them — event delivery (publishHot), execution
+	// (publishHot), and an idle-budget discard (remaining only). hotBudget
+	// and hotPeriod are the constant B_i/T_i columns, filled once. Together
+	// with nextEv they are the per-step working set: a step over a mostly
+	// quiescent system reads a few contiguous cache lines here instead of
+	// pointer-chasing P server/scheduler structs. core.Policy's batched
+	// Algorithm-3 path reads them through Hot() — the same exactness contract
+	// as nextEv applies (any engine-side mutation of a quantity mirrored here
+	// must go through publishHot), and TestIndexedScanDigestsMatch pins it:
+	// the scan reference path re-reads live servers, so a stale arena entry
+	// flips a decision and shows up as a digest mismatch.
+	hotRemaining []vtime.Duration
+	hotDeadline  []vtime.Time
+	hotSupply    []vtime.Time
+	hotBudget    []vtime.Duration
+	hotPeriod    []vtime.Duration
 	// dueBuf is the reusable scratch for the delivery phase's due set.
 	dueBuf []int32
 	// runnableBuf is the reusable backing array for Runnable.
@@ -212,18 +258,28 @@ func New(parts []*partition.Partition, policy GlobalPolicy, rnd *rng.Rand) (*Sys
 		rnd = rng.New(1)
 	}
 	s := &System{
-		Partitions:  ordered,
-		Policy:      policy,
-		Rand:        rnd,
-		running:     -1,
-		perPart:     make([]vtime.Duration, len(ordered)),
-		nextEv:      make([]vtime.Time, len(ordered)),
-		evq:         eventq.NewIndexMin(len(ordered)),
-		readyMask:   make([]uint64, (len(ordered)+63)/64),
-		dueBuf:      make([]int32, 0, len(ordered)),
-		runnableBuf: make([]*partition.Partition, 0, len(ordered)),
-		stamps:      make([]uint64, len(ordered)),
+		Partitions:   ordered,
+		Policy:       policy,
+		Rand:         rnd,
+		running:      -1,
+		perPart:      make([]vtime.Duration, len(ordered)),
+		nextEv:       make([]vtime.Time, len(ordered)),
+		evq:          eventq.NewIndexMin(len(ordered)),
+		ready:        bitset.New(len(ordered)),
+		hotRemaining: make([]vtime.Duration, len(ordered)),
+		hotDeadline:  make([]vtime.Time, len(ordered)),
+		hotSupply:    make([]vtime.Time, len(ordered)),
+		hotBudget:    make([]vtime.Duration, len(ordered)),
+		hotPeriod:    make([]vtime.Duration, len(ordered)),
+		dueBuf:       make([]int32, 0, len(ordered)),
+		runnableBuf:  make([]*partition.Partition, 0, len(ordered)),
+		stamps:       make([]uint64, len(ordered)),
 	}
+	for i, p := range ordered {
+		s.hotBudget[i] = p.Server.Budget()
+		s.hotPeriod[i] = p.Server.Period()
+	}
+	s.initHotArenas()
 	// The lifecycle observers are installed unconditionally: they maintain
 	// the always-on Counters (deadline misses) and forward to the telemetry
 	// sink when one is attached. With no sink each callback is a nil check.
@@ -357,31 +413,69 @@ func (s *System) setNextEv(i int, t vtime.Time) {
 	s.evq.Update(i, t)
 }
 
-// updateRunnableBit re-derives readyMask bit i from the partition's current
-// state. Called after the two sites that can change runnability: event
-// delivery and execution.
-func (s *System) updateRunnableBit(i int) {
-	w, b := i>>6, uint(i&63)
-	if s.Partitions[i].Runnable() {
-		s.readyMask[w] |= 1 << b
+// publishHot writes one partition's freshly gathered hot-state snapshot into
+// the struct-of-arrays arenas, the next-event cache/heap, and the ready
+// bitset. This is the single write path for everything a decision reads from
+// the arenas; the two sites that can move any of these quantities — event
+// delivery and execution — both funnel through it.
+func (s *System) publishHot(i int, h partition.HotState) {
+	s.hotRemaining[i] = h.Remaining
+	s.hotDeadline[i] = h.Deadline
+	s.hotSupply[i] = h.Supply
+	s.setNextEv(i, h.NextEvent)
+	if h.Runnable {
+		s.ready.Set(i)
 	} else {
-		s.readyMask[w] &^= 1 << b
+		s.ready.Clear(i)
 	}
 }
 
-// anyRunnableBelow reports whether any partition with index < n is runnable,
-// from the bitset (indexed mode only).
-func (s *System) anyRunnableBelow(n int) bool {
-	w := 0
-	for ; (w+1)*64 <= n; w++ {
-		if s.readyMask[w] != 0 {
-			return true
-		}
+// initHotArenas fills the variable arena columns from the servers' initial
+// state (full budget, r = 0). It deliberately does not touch the local
+// schedulers: task arrival anchors stay lazy until the first delivery, so
+// spec transforms that rewrite offsets between build and run (BLINDER's
+// release quantization) still take effect. The ready bits start clear — no
+// jobs are released before the first step — and nextEv entries start at
+// zero, so the first step delivers to (and fully publishes) every partition.
+func (s *System) initHotArenas() {
+	for i, p := range s.Partitions {
+		srv := p.Server
+		s.hotRemaining[i] = srv.Remaining()
+		s.hotDeadline[i] = srv.Deadline()
+		s.hotSupply[i] = srv.NextReplenish()
 	}
-	if rem := n - w*64; rem > 0 {
-		return s.readyMask[w]&(1<<uint(rem)-1) != 0
+}
+
+// Hot is the read-only struct-of-arrays view of the per-partition scheduling
+// state the engine maintains for its own stepping and for policies: one slice
+// per quantity, indexed by partition priority order. See System.Hot.
+type Hot struct {
+	Remaining []vtime.Duration // B_i(t)
+	Budget    []vtime.Duration // B_i (constant)
+	Period    []vtime.Duration // T_i (constant)
+	Deadline  []vtime.Time     // d_{i,t} = r_{i,t} + T_i
+	Supply    []vtime.Time     // earliest future budget gain
+	Ready     *bitset.Hier     // bit i ⇔ Partitions[i].Runnable()
+}
+
+// Hot returns the arena view. The slices and bitset are owned by the System
+// and must not be mutated; values are exact at every decision point (the
+// engine republishes a partition's entries whenever delivery, execution, or
+// an idle discard can move them), which is when policies read them.
+// core.Policy's batched Algorithm-3 path aliases these slices directly, so a
+// TimeDice decision at P=16384 reads a few contiguous cache lines instead of
+// pointer-chasing every server. Like the ready set, the arenas only observe
+// engine-driven mutation: tests that poke servers directly must use
+// ScanStepping, whose reference paths re-read live state.
+func (s *System) Hot() Hot {
+	return Hot{
+		Remaining: s.hotRemaining,
+		Budget:    s.hotBudget,
+		Period:    s.hotPeriod,
+		Deadline:  s.hotDeadline,
+		Supply:    s.hotSupply,
+		Ready:     s.ready,
 	}
-	return false
 }
 
 // Now returns the current simulated instant.
@@ -408,16 +502,31 @@ func (s *System) Runnable() []*partition.Partition {
 			}
 		}
 	} else {
-		for w, word := range s.readyMask {
-			for word != 0 {
-				b := bits.TrailingZeros64(word)
-				word &= word - 1
-				out = append(out, s.Partitions[w<<6+b])
-			}
-		}
+		s.ready.ForEachSet(func(i int) bool {
+			out = append(out, s.Partitions[i])
+			return true
+		})
 	}
 	s.runnableBuf = out
 	return out
+}
+
+// FirstRunnable returns the index of the highest-priority runnable partition,
+// or -1 when nothing is runnable. In indexed mode this is a summary-guided
+// first-set-bit probe (O(occupied groups), not O(P)); in ScanStepping mode it
+// is the reference linear scan over live partition state. sched.FixedPriority
+// picks through it, so the NoRandom decision never materializes the runnable
+// slice.
+func (s *System) FirstRunnable() int {
+	if s.ScanStepping {
+		for i, p := range s.Partitions {
+			if p.Runnable() {
+				return i
+			}
+		}
+		return -1
+	}
+	return s.ready.First()
 }
 
 // Run advances the simulation until the given instant.
@@ -437,8 +546,9 @@ func (s *System) Run(until vtime.Time) {
 func (s *System) RunFor(d vtime.Duration) { s.Run(s.now.Add(d)) }
 
 // deliver applies all events due at or before now to partition i:
-// replenishment-boundary advance and job releases, then refreshes the
-// next-event cache/heap and the runnable bit.
+// replenishment-boundary advance and job releases, then publishes the
+// partition's refreshed hot state (arenas, next-event cache/heap, ready bit)
+// in one gathered snapshot.
 func (s *System) deliver(i int, p *partition.Partition, now vtime.Time) {
 	// Delivery can change the partition's replenishment anchors even without
 	// firing an observer callback (a boundary advance that restores an
@@ -446,8 +556,7 @@ func (s *System) deliver(i int, p *partition.Partition, now vtime.Time) {
 	s.bumpStamp(i)
 	p.Server.AdvanceTo(now)
 	p.Local.ReleaseUpTo(now)
-	s.setNextEv(i, p.NextLocalEvent())
-	s.updateRunnableBit(i)
+	s.publishHot(i, p.Hot())
 }
 
 // noteIdleTouched gives polling servers with no pending workload the chance
@@ -488,10 +597,11 @@ func (s *System) noteIdleTouched(now vtime.Time, due []int32) {
 
 func (s *System) noteIdleOne(i int, now vtime.Time) {
 	p := s.Partitions[i]
-	if !p.Local.HasReady() {
+	if !p.Local.HasReady() && p.Server.NoteIdle(now) {
 		// Discarding leaves the partition non-runnable either way (no ready
-		// work before and after), so the readyMask bit is already clear.
-		p.Server.NoteIdle(now)
+		// work before and after), so the ready bit is already clear; only the
+		// remaining-budget arena column moves.
+		s.hotRemaining[i] = 0
 	}
 }
 
@@ -505,18 +615,26 @@ func (s *System) step(until vtime.Time) {
 	// partition-index delivery order exactly (the due set is sorted), so both
 	// paths emit byte-identical event streams.
 	if s.ScanStepping {
+		delivered := 0
 		for i, p := range s.Partitions {
 			if s.nextEv[i] <= now {
 				s.deliver(i, p, now)
+				delivered++
 			}
 		}
 		// Polling servers discard budget the moment they hold it with no
 		// pending workload.
-		for _, p := range s.Partitions {
-			if !p.Local.HasReady() {
-				p.Server.NoteIdle(now)
+		for i, p := range s.Partitions {
+			if !p.Local.HasReady() && p.Server.NoteIdle(now) {
+				s.hotRemaining[i] = 0
 			}
 		}
+		// Cache-traffic proxy, scan mode: the delivery scan reads nextEv for
+		// every partition, NoteIdle pointer-chases every partition, and the
+		// horizon reduce below reads nextEv again — O(P) bytes per step even
+		// when nothing is due.
+		s.Counters.ArenaBytesTouched += int64(len(s.Partitions))*(8+partVisitBytes+8) +
+			int64(delivered)*(arenaStrideBytes+partVisitBytes)
 	} else {
 		due := s.evq.CollectDue(now, s.dueBuf[:0])
 		slices.Sort(due)
@@ -525,6 +643,20 @@ func (s *System) step(until vtime.Time) {
 			s.deliver(int(i), s.Partitions[i], now)
 		}
 		s.noteIdleTouched(now, due)
+		// Cache-traffic proxy, indexed mode: due partitions pay a full visit
+		// plus an arena republish, the pruned heap descent touches at most
+		// 4·due+1 nodes, idle notification visits due ∪ {previous pick}, and
+		// the ready-set walks read the summary words plus the occupied
+		// groups. Quiescent partitions contribute nothing.
+		touched := int64(len(due))
+		if s.running >= 0 {
+			touched++
+		}
+		s.Counters.ArenaBytesTouched += int64(len(due))*(arenaStrideBytes+partVisitBytes) +
+			(4*int64(len(due))+1)*heapNodeBytes +
+			touched*partVisitBytes +
+			int64(s.ready.SummaryWords()+s.ready.OccupiedGroups())*8 +
+			8 // MinKey root read in the horizon bound
 	}
 
 	// Global scheduling decision. The clock reads exist only under
@@ -615,17 +747,18 @@ func (s *System) step(until vtime.Time) {
 		used := pick.Local.Run(now, d.Min(pick.Server.Remaining()))
 		pick.Server.Consume(now, used)
 		// Consuming budget schedules the replacement replenishment, so the
-		// executed partition's next event may have moved; refresh its cache.
-		// For a sporadic server the consumption also queues a future supply
-		// chunk, which shifts the partition's supply stream mid-epoch — a
+		// executed partition's next event may have moved; republish its hot
+		// state (arena columns, next-event cache/heap, ready bit). For a
+		// sporadic server the consumption also queues a future supply chunk,
+		// which shifts the partition's supply stream mid-epoch — a
 		// discontinuous change the verdict cache must observe. Plain budget
 		// draining on the other policies is the time-monotone evolution cached
 		// verdicts already account for, so no stamp is needed there.
 		if used > 0 && pick.Server.PolicyKind() == server.Sporadic {
 			s.bumpStamp(pick.Index)
 		}
-		s.setNextEv(pick.Index, pick.NextLocalEvent())
-		s.updateRunnableBit(pick.Index)
+		s.publishHot(pick.Index, pick.Hot())
+		s.Counters.ArenaBytesTouched += arenaStrideBytes + partVisitBytes
 		s.perPart[pick.Index] += used
 		s.Counters.BusyTime += used
 		end := now.Add(used)
@@ -705,7 +838,11 @@ func (s *System) observeDecision(now vtime.Time, pick *partition.Partition, pick
 			}
 		}
 	} else {
-		inverted = s.anyRunnableBelow(upTo)
+		// The highest-priority runnable partition decides it: the decision is
+		// inverted iff one exists above the pick. First shares the bitset's
+		// summary-guided ForEachSet walk with Runnable and FixedPriority.
+		first := s.ready.First()
+		inverted = first >= 0 && first < upTo
 	}
 	switch {
 	case inverted && !s.invOpen:
@@ -774,9 +911,8 @@ func (s *System) Reset() {
 		s.stamps[i] = 0
 	}
 	s.evq.Reset()
-	for i := range s.readyMask {
-		s.readyMask[i] = 0
-	}
+	s.ready.Reset()
+	s.initHotArenas()
 	if pr, ok := s.Policy.(PolicyResetter); ok {
 		pr.Reset()
 	}

@@ -29,6 +29,8 @@ type Progress struct {
 	events     atomic.Int64
 	cacheHits  atomic.Int64
 	cacheMiss  atomic.Int64
+	arenaBytes atomic.Int64
+	engSteps   atomic.Int64
 
 	mu     sync.Mutex
 	trialS *stats.Sketch // per-trial wall-clock seconds
@@ -62,21 +64,36 @@ func (p *Progress) AddCache(hits, misses int64) {
 	p.cacheMiss.Add(misses)
 }
 
+// AddEngine folds one trial's engine-side hot-path tallies into the campaign
+// totals: steps (= scheduling decisions) and the deterministic cache-traffic
+// proxy engine.Counters.ArenaBytesTouched. The ratio of the two is the
+// arena-bytes-per-step gauge /metrics exposes — the live view of the
+// BenchmarkEngineStepScale B/qpart-step story.
+func (p *Progress) AddEngine(steps, arenaBytes int64) {
+	p.engSteps.Add(steps)
+	p.arenaBytes.Add(arenaBytes)
+}
+
 // Status is one consistent-enough snapshot of a running campaign: the
 // struct /statusz serves as JSON and the -progress reporter renders as a
 // stderr line. Counters are read individually (not under one lock), so a
 // snapshot taken mid-update may be off by a trial — fine for a live view.
 type Status struct {
-	Tool           string  `json:"tool"`
-	Total          int64   `json:"total"`
-	Done           int64   `json:"done"`
-	InFlight       int64   `json:"inFlight"`
-	Violations     int64   `json:"violations"`
-	Events         int64   `json:"events"`
-	CacheHits      int64   `json:"cacheHits"`
-	CacheMisses    int64   `json:"cacheMisses"`
-	CacheHitRatio  float64 `json:"cacheHitRatio"`
-	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	Tool          string  `json:"tool"`
+	Total         int64   `json:"total"`
+	Done          int64   `json:"done"`
+	InFlight      int64   `json:"inFlight"`
+	Violations    int64   `json:"violations"`
+	Events        int64   `json:"events"`
+	CacheHits     int64   `json:"cacheHits"`
+	CacheMisses   int64   `json:"cacheMisses"`
+	CacheHitRatio float64 `json:"cacheHitRatio"`
+	EngineSteps   int64   `json:"engineSteps"`
+	ArenaBytes    int64   `json:"arenaBytes"`
+	// ArenaBytesPerStep is the campaign-wide mean of the engine's
+	// deterministic cache-traffic proxy (hot-state bytes touched per step).
+	ArenaBytesPerStep float64 `json:"arenaBytesPerStep"`
+	ElapsedSeconds    float64 `json:"elapsedSeconds"`
 	// RatePerSecond is completed trials per elapsed second.
 	RatePerSecond float64 `json:"ratePerSecond"`
 	// ETASeconds extrapolates the remaining trials at the current rate; -1
@@ -99,10 +116,15 @@ func (p *Progress) Snapshot() Status {
 		Events:      p.events.Load(),
 		CacheHits:   p.cacheHits.Load(),
 		CacheMisses: p.cacheMiss.Load(),
+		EngineSteps: p.engSteps.Load(),
+		ArenaBytes:  p.arenaBytes.Load(),
 		ETASeconds:  -1,
 	}
 	if l := s.CacheHits + s.CacheMisses; l > 0 {
 		s.CacheHitRatio = float64(s.CacheHits) / float64(l)
+	}
+	if s.EngineSteps > 0 {
+		s.ArenaBytesPerStep = float64(s.ArenaBytes) / float64(s.EngineSteps)
 	}
 	s.ElapsedSeconds = time.Since(p.start).Seconds()
 	if s.ElapsedSeconds > 0 {

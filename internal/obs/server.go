@@ -112,6 +112,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("timedice_cache_hits_total", "schedulability-verdict cache hits (core.Cache)", st.CacheHits)
 		counter("timedice_cache_misses_total", "schedulability-verdict cache misses (core.Cache)", st.CacheMisses)
 		gauge("timedice_cache_hit_ratio", "hits / (hits + misses)", st.CacheHitRatio)
+		counter("timedice_engine_steps_total", "engine steps (= scheduling decisions) simulated", st.EngineSteps)
+		counter("timedice_engine_arena_bytes_total", "hot-state bytes touched by the step loop (deterministic cache-traffic proxy)", st.ArenaBytes)
+		gauge("timedice_engine_arena_bytes_per_step", "mean arena bytes touched per engine step", st.ArenaBytesPerStep)
 		fmt.Fprintf(w, "# HELP timedice_trial_seconds per-trial wall-clock quantiles (stats.Sketch)\n# TYPE timedice_trial_seconds summary\n")
 		fmt.Fprintf(w, "timedice_trial_seconds{quantile=\"0.5\"} %g\n", st.TrialSecondsP50)
 		fmt.Fprintf(w, "timedice_trial_seconds{quantile=\"0.9\"} %g\n", st.TrialSecondsP90)

@@ -36,6 +36,7 @@ func TestServerEndpoints(t *testing.T) {
 	p.TrialStart()
 	p.TrialDone(1234, 2, 3*time.Millisecond)
 	p.AddCache(8, 2)
+	p.AddEngine(100, 6400)
 
 	srv, err := obs.StartServer("127.0.0.1:0", p)
 	if err != nil {
@@ -61,6 +62,9 @@ func TestServerEndpoints(t *testing.T) {
 		"timedice_cache_hits_total 8",
 		"timedice_cache_misses_total 2",
 		"timedice_cache_hit_ratio 0.8",
+		"timedice_engine_steps_total 100",
+		"timedice_engine_arena_bytes_total 6400",
+		"timedice_engine_arena_bytes_per_step 64",
 		`timedice_trial_seconds{quantile="0.5"}`,
 		"timedice_runner_workers_active",
 		"go_heap_alloc_bytes",

@@ -75,3 +75,36 @@ func (p *Partition) NextLocalEvent() vtime.Time {
 	}
 	return next
 }
+
+// HotState is the flat snapshot of the scheduling-hot scalars of one
+// partition: everything the engine mirrors into its struct-of-arrays arenas
+// after an event delivery or an execution slice. Gathering them in one call
+// keeps the pointer chase per touched partition to a single visit of the
+// server and local-scheduler structs.
+type HotState struct {
+	Remaining vtime.Duration // B_i(t)
+	Deadline  vtime.Time     // d_{i,t} = r_{i,t} + T_i
+	Supply    vtime.Time     // earliest future budget gain (sporadic chunks may precede Deadline)
+	NextEvent vtime.Time     // NextLocalEvent: min(Supply, next task arrival)
+	Runnable  bool           // active ∧ ready work
+}
+
+// Hot assembles the HotState snapshot. It is equivalent to calling Remaining/
+// Deadline/NextReplenish/NextLocalEvent/Runnable individually, with one pass
+// over the local scheduler's task states instead of two.
+func (p *Partition) Hot() HotState {
+	rem := p.Server.Remaining()
+	supply := p.Server.NextReplenish()
+	ready, arrival := p.Local.ReadyAndNext()
+	next := supply
+	if arrival < next {
+		next = arrival
+	}
+	return HotState{
+		Remaining: rem,
+		Deadline:  p.Server.Deadline(),
+		Supply:    supply,
+		NextEvent: next,
+		Runnable:  rem > 0 && ready,
+	}
+}

@@ -27,12 +27,14 @@ func (FixedPriority) Name() string { return "NoRandom" }
 // event-driven.
 func (FixedPriority) Quantum() vtime.Duration { return 0 }
 
-// Pick implements engine.GlobalPolicy. Runnable returns candidates in
-// decreasing priority order, so the first element is the pick; the engine's
-// runnable set makes this O(active partitions), not O(P).
+// Pick implements engine.GlobalPolicy. The highest-priority runnable
+// partition is the pick; FirstRunnable probes the engine's hierarchical
+// ready bitset (the same bitset.ForEachSet walk the inversion scan uses), so
+// the NoRandom decision costs O(occupied groups) and never materializes the
+// runnable slice.
 func (FixedPriority) Pick(sys *engine.System, _ vtime.Time) *partition.Partition {
-	if r := sys.Runnable(); len(r) > 0 {
-		return r[0]
+	if i := sys.FirstRunnable(); i >= 0 {
+		return sys.Partitions[i]
 	}
 	return nil
 }

@@ -300,6 +300,20 @@ func (s *Scheduler) Current() *Job {
 // HasReady reports whether any job is pending.
 func (s *Scheduler) HasReady() bool { return s.ready > 0 }
 
+// ReadyAndNext returns HasReady and NextArrival in one call, with a single
+// pass over the task states. The engine reads both for every partition it
+// touches when refreshing the hot-state arenas (partition.Hot), so the
+// combined accessor halves the per-touch walk.
+func (s *Scheduler) ReadyAndNext() (ready bool, next vtime.Time) {
+	next = vtime.Infinity
+	for _, st := range s.states {
+		if a := st.arrivalAnchor(); a < next {
+			next = a
+		}
+	}
+	return s.ready > 0, next
+}
+
 // Backlog returns the total outstanding execution demand across all pending
 // jobs.
 func (s *Scheduler) Backlog() vtime.Duration {
