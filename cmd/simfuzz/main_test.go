@@ -99,6 +99,8 @@ func TestForcedViolationBundle(t *testing.T) {
 		ReplayDigest string   `json:"replayDigest"`
 		Detail       []string `json:"detail"`
 		Files        []string `json:"files"`
+		SnapshotTime int64    `json:"snapshotTimeMicros"`
+		PrefixDigest string   `json:"prefixDigest"`
 	}
 	mb, err := os.ReadFile(filepath.Join(bundle, "meta.json"))
 	if err != nil {
@@ -116,11 +118,14 @@ func TestForcedViolationBundle(t *testing.T) {
 	if len(meta.Detail) == 0 || !strings.Contains(meta.Detail[0], "injected") {
 		t.Fatalf("detail = %v, want the forced violation message", meta.Detail)
 	}
-	// The reproducer and event dumps ride along.
-	for _, f := range []string{"scenario.json", "events.jsonl", "events.trace.json"} {
+	// The reproducer, event dumps, and pre-violation snapshot ride along.
+	for _, f := range []string{"scenario.json", "events.jsonl", "events.trace.json", "state.snapshot"} {
 		if _, err := os.Stat(filepath.Join(bundle, f)); err != nil {
 			t.Fatalf("bundle file missing: %v", err)
 		}
+	}
+	if meta.PrefixDigest == "" {
+		t.Fatal("meta.json lacks prefixDigest for the embedded snapshot")
 	}
 }
 
@@ -131,5 +136,99 @@ func TestBundleDirDisabled(t *testing.T) {
 	cfg := config{scenarios: 3, seed: 5, parallel: 1, injectFailure: 1}
 	if code := campaign(cfg, &out); code != 1 {
 		t.Fatalf("campaign exited %d, want 1", code)
+	}
+}
+
+// TestCheckpointResume is the ISSUE acceptance pin for -checkpoint /
+// -resume-from: interrupt a campaign mid-flight, resume it from the
+// checkpoint file, and require the resumed report to be byte-identical to
+// the uninterrupted run's.
+func TestCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "campaign.checkpoint")
+	base := config{scenarios: 40, seed: 7, parallel: 2, shrink: false}
+
+	var want bytes.Buffer
+	if code := campaign(base, &want); code != 0 {
+		t.Fatalf("uninterrupted campaign exited %d:\n%s", code, want.String())
+	}
+
+	interrupted := base
+	interrupted.checkpoint = ckpt
+	interrupted.checkpointEvery = 10
+	interrupted.stopAfter = 15
+	var mid bytes.Buffer
+	if code := campaign(interrupted, &mid); code != 0 {
+		t.Fatalf("interrupted campaign exited %d:\n%s", code, mid.String())
+	}
+	if mid.Len() != 0 {
+		t.Fatalf("interrupted campaign wrote to the report stream:\n%s", mid.String())
+	}
+	cs, err := loadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Next < 15 || cs.Next >= base.scenarios {
+		t.Fatalf("checkpoint folded %d trials, want in [15, %d)", cs.Next, base.scenarios)
+	}
+
+	resumed := interrupted
+	resumed.stopAfter = 0
+	resumed.resumeFrom = ckpt
+	var got bytes.Buffer
+	if code := campaign(resumed, &got); code != 0 {
+		t.Fatalf("resumed campaign exited %d:\n%s", code, got.String())
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n--- uninterrupted\n%s--- resumed\n%s", want.String(), got.String())
+	}
+	// The final checkpoint covers the whole campaign.
+	if cs, err := loadCheckpoint(ckpt); err != nil || cs.Next != base.scenarios {
+		t.Fatalf("final checkpoint Next = %d (err %v), want %d", cs.Next, err, base.scenarios)
+	}
+}
+
+// TestCheckpointResumeMismatch: a checkpoint from a different campaign
+// (other seed / scenario count / explore setting) must be refused, exit 2.
+func TestCheckpointResumeMismatch(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "campaign.checkpoint")
+	cfg := config{scenarios: 12, seed: 7, parallel: 1, shrink: false, checkpoint: ckpt, checkpointEvery: 4, stopAfter: 4}
+	var out bytes.Buffer
+	if code := campaign(cfg, &out); code != 0 {
+		t.Fatalf("setup campaign exited %d:\n%s", code, out.String())
+	}
+
+	bad := cfg
+	bad.stopAfter = 0
+	bad.resumeFrom = ckpt
+	bad.seed = 8 // different campaign
+	out.Reset()
+	if code := campaign(bad, &out); code != 2 {
+		t.Fatalf("resume with mismatched seed exited %d, want 2:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "different campaign") {
+		t.Fatalf("mismatch not diagnosed:\n%s", out.String())
+	}
+}
+
+// TestExploreCampaign smokes -explore end to end: the report gains the
+// explore summary line, stays clean (no fork-control digest mismatches —
+// that is the Fork contract riding inside every campaign), and remains
+// independent of the worker count.
+func TestExploreCampaign(t *testing.T) {
+	cfg := config{scenarios: 8, seed: 3, parallel: 1, shrink: false, explore: 2}
+	var seq, par bytes.Buffer
+	if code := campaign(cfg, &seq); code != 0 {
+		t.Fatalf("explore campaign exited %d:\n%s", code, seq.String())
+	}
+	if !strings.Contains(seq.String(), "explore") || !strings.Contains(seq.String(), "0 control mismatches") {
+		t.Fatalf("report lacks a clean explore line:\n%s", seq.String())
+	}
+	cfg4 := cfg
+	cfg4.parallel = 4
+	if code := campaign(cfg4, &par); code != 0 {
+		t.Fatalf("explore campaign exited %d:\n%s", code, par.String())
+	}
+	if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+		t.Fatalf("explore report depends on worker count:\n--- parallel 1\n%s--- parallel 4\n%s", seq.String(), par.String())
 	}
 }

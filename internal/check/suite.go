@@ -229,6 +229,25 @@ func DigestEvents(events []telemetry.Event) uint64 {
 	return h
 }
 
+// DigestSeed is the initial value of the event-stream digest (the FNV-1a
+// offset basis). Folding a stream event-by-event from DigestSeed with
+// FoldEvent equals DigestEvents of the whole stream — which is what lets a
+// snapshot carry a prefix digest and the restored run's suffix continue it.
+const DigestSeed uint64 = fnvOffset
+
+// FoldEvent folds one event into a running digest started at DigestSeed.
+func FoldEvent(h uint64, e telemetry.Event) uint64 { return hashEvent(h, e) }
+
+// FoldEvents folds a slice of events into a running digest:
+// FoldEvents(DigestSeed, all) == DigestEvents(all), and for any split point
+// DigestEvents(all) == FoldEvents(DigestEvents(prefix), suffix).
+func FoldEvents(h uint64, events []telemetry.Event) uint64 {
+	for _, e := range events {
+		h = hashEvent(h, e)
+	}
+	return h
+}
+
 func (s *Suite) hash(e telemetry.Event) {
 	s.digest = hashEvent(s.digest, e)
 }

@@ -297,6 +297,7 @@ type Policy struct {
 var (
 	_ engine.GlobalPolicy     = (*Policy)(nil)
 	_ engine.DecisionDetailer = (*Policy)(nil)
+	_ engine.PolicyForker     = (*Policy)(nil)
 )
 
 // Option configures a Policy.
@@ -395,6 +396,23 @@ func (p *Policy) Reset() {
 	if p.cache != nil {
 		p.cache.Reset()
 	}
+}
+
+// ForkPolicy implements engine.PolicyForker: an independent policy with the
+// same configuration (quantum, selection mode, cache enablement) and fresh
+// decision state, plus a cloned position of the private random stream when
+// WithRand gave the policy one. Starting the fork with an empty verdict cache
+// and no reusable search is digest-exact — both are pinned equivalent to the
+// uncached/unreused paths — so a fork schedules identically to its parent.
+func (p *Policy) ForkPolicy() engine.GlobalPolicy {
+	np := &Policy{quantum: p.quantum, mode: p.mode}
+	if p.cache != nil {
+		np.cache = &Cache{}
+	}
+	if p.rnd != nil {
+		np.rnd = p.rnd.Clone()
+	}
+	return np
 }
 
 // Snapshot fills states (reusing its backing array) with the current view of

@@ -545,6 +545,20 @@ func (s *System) Run(until vtime.Time) {
 // RunFor advances the simulation by d.
 func (s *System) RunFor(d vtime.Duration) { s.Run(s.now.Add(d)) }
 
+// Step advances the simulation by exactly one decision step (or not at all if
+// the clock has already reached until). Between Step calls the system is at a
+// natural step boundary — the only instants at which Snapshot and Fork are
+// valid: splitting a slice artificially would re-consult randomized policies
+// mid-slice and diverge from the uninterrupted schedule.
+func (s *System) Step(until vtime.Time) {
+	if s.MeasureLatency && s.Counters.PolicyLatency == nil {
+		s.Counters.PolicyLatency = telemetry.NewHistogram(telemetry.LatencyBuckets())
+	}
+	if s.now < until {
+		s.step(until)
+	}
+}
+
 // deliver applies all events due at or before now to partition i:
 // replenishment-boundary advance and job releases, then publishes the
 // partition's refreshed hot state (arenas, next-event cache/heap, ready bit)

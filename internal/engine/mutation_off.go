@@ -1,0 +1,11 @@
+//go:build !timedice_mutation
+
+package engine
+
+// snapshotDropsSporadicSupply enables the snapshot-encoder mutant: when true,
+// Snapshot silently omits the sporadic server's pending replenishment chunks,
+// producing a well-formed snapshot that restores cleanly but continues the run
+// with the supply stream lost. The differential restore suite must catch the
+// divergence (TestSnapshotMutationCaught, built with -tags timedice_mutation);
+// in normal builds the constant is false and the branch compiles away.
+const snapshotDropsSporadicSupply = false

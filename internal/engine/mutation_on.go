@@ -1,0 +1,8 @@
+//go:build timedice_mutation
+
+package engine
+
+// Mutation build: the snapshot encoder silently drops the sporadic server's
+// pending replenishment chunks. See mutation_off.go for the contract; the
+// point of this build is proving the differential restore suite notices.
+const snapshotDropsSporadicSupply = true

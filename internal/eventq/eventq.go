@@ -4,7 +4,12 @@
 // of heap internals.
 package eventq
 
-import "timedice/internal/vtime"
+import (
+	"cmp"
+	"slices"
+
+	"timedice/internal/vtime"
+)
 
 // Queue is a min-heap of values keyed by (time, insertion sequence).
 // The zero value is an empty, ready-to-use queue.
@@ -71,6 +76,52 @@ func (q *Queue[T]) PopUntil(t vtime.Time, buf []T) []T {
 func (q *Queue[T]) Reset() {
 	q.items = q.items[:0]
 	q.seq = 0
+}
+
+// Entry is the exported view of one pending event: its delivery instant and
+// value. A queue's entry list in delivery order is a complete serialization
+// of its observable behavior — delivery depends only on (time, insertion
+// order), so AppendAll followed by Load reproduces every future Pop exactly.
+type Entry[T any] struct {
+	At  vtime.Time
+	Val T
+}
+
+// AppendAll appends every pending event to buf in delivery order without
+// disturbing the queue, returning the extended slice. It sorts a scratch copy
+// of the heap, so it allocates; snapshot paths only, never the hot loop.
+func (q *Queue[T]) AppendAll(buf []Entry[T]) []Entry[T] {
+	tmp := make([]entry[T], len(q.items))
+	copy(tmp, q.items)
+	slices.SortFunc(tmp, func(a, b entry[T]) int {
+		if a.at != b.at {
+			return cmp.Compare(a.at, b.at)
+		}
+		return cmp.Compare(a.seq, b.seq)
+	})
+	for _, e := range tmp {
+		buf = append(buf, Entry[T]{At: e.at, Val: e.val})
+	}
+	return buf
+}
+
+// Load replaces the queue's contents with entries, which must be in delivery
+// order (non-decreasing At). Insertion order breaks the remaining ties, so a
+// queue loaded from AppendAll's output is observationally identical to the
+// original — including tie-breaking against values pushed later, which always
+// sort after the reloaded ones just as they would after the originals.
+func (q *Queue[T]) Load(entries []Entry[T]) {
+	q.Reset()
+	for _, e := range entries {
+		q.Push(e.At, e.Val)
+	}
+}
+
+// CloneInto makes dst an exact structural copy of q (same heap layout, same
+// insertion counter), retaining dst's capacity where possible.
+func (q *Queue[T]) CloneInto(dst *Queue[T]) {
+	dst.items = append(dst.items[:0], q.items...)
+	dst.seq = q.seq
 }
 
 func (q *Queue[T]) less(i, j int) bool {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"timedice/internal/telemetry"
+	"timedice/internal/vtime"
 )
 
 // Bundle reasons, recorded in the post-mortem meta.json.
@@ -49,6 +50,16 @@ type BundleInfo struct {
 	ReplayDigest uint64
 	// Counters are headline numbers (decisions, misses, busy/idle µs, ...).
 	Counters map[string]int64
+	// Snapshot, when non-nil, is an engine.Snapshot taken at the last step
+	// boundary before the violation (gen.CheckpointBeforeViolation), written
+	// into the bundle as state.snapshot. SnapshotTime is the capture instant
+	// in simulated microseconds and PrefixDigest the event-stream digest of
+	// everything emitted before it: restoring the snapshot and folding the
+	// replayed suffix onto PrefixDigest must reproduce LiveDigest, so a bundle
+	// replays from just before the failure instead of from zero.
+	Snapshot     []byte
+	SnapshotTime vtime.Time
+	PrefixDigest uint64
 }
 
 // bundleMeta is the JSON schema of meta.json inside a bundle.
@@ -67,6 +78,8 @@ type bundleMeta struct {
 	EventsDropped uint64           `json:"eventsDropped"`
 	Partitions    []string         `json:"partitions,omitempty"`
 	Counters      map[string]int64 `json:"counters,omitempty"`
+	SnapshotTime  int64            `json:"snapshotTimeMicros,omitempty"`
+	PrefixDigest  string           `json:"prefixDigest,omitempty"`
 	Files         []string         `json:"files"`
 }
 
@@ -142,6 +155,15 @@ func WriteBundle(dir string, info BundleInfo) (string, error) {
 		meta.Files = append(meta.Files, "scenario.json")
 		if err := os.WriteFile(filepath.Join(bdir, "scenario.json"), info.Scenario, 0o644); err != nil {
 			return "", fmt.Errorf("obs: bundle scenario: %w", err)
+		}
+	}
+
+	if info.Snapshot != nil {
+		meta.SnapshotTime = int64(info.SnapshotTime)
+		meta.PrefixDigest = fmt.Sprintf("%#016x", info.PrefixDigest)
+		meta.Files = append(meta.Files, "state.snapshot")
+		if err := os.WriteFile(filepath.Join(bdir, "state.snapshot"), info.Snapshot, 0o644); err != nil {
+			return "", fmt.Errorf("obs: bundle snapshot: %w", err)
 		}
 	}
 

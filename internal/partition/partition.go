@@ -65,6 +65,19 @@ func (p *Partition) Reset() {
 	p.Local.Reset()
 }
 
+// Clone returns an independent deep copy of the partition — cloned server and
+// local scheduler, shared static task descriptors — with no observers
+// installed. The engine's Fork reinstalls its own observers on the copy.
+func (p *Partition) Clone() *Partition {
+	return &Partition{
+		Name:     p.Name,
+		Priority: p.Priority,
+		Server:   p.Server.Clone(),
+		Local:    p.Local.Clone(),
+		Index:    p.Index,
+	}
+}
+
 // NextLocalEvent returns the earliest future instant at which this partition
 // generates a scheduling event on its own: a budget replenishment or a task
 // arrival.

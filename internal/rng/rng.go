@@ -9,7 +9,10 @@
 // threat model does not include an adversary predicting the scheduler's PRNG.
 package rng
 
-import "math"
+import (
+	"errors"
+	"math"
+)
 
 // Rand is a deterministic xoshiro256** generator. It is not safe for
 // concurrent use; each simulation owns its own Rand.
@@ -174,6 +177,29 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 		swap(i, j)
 	}
 }
+
+// State returns the raw xoshiro256** state. Together with SetState it lets
+// snapshot/restore machinery capture and replay the generator's exact
+// position in its stream.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// ErrZeroState is returned by SetState for the all-zero state, which is the
+// one state xoshiro256** cannot occupy (it would emit zeros forever).
+var ErrZeroState = errors.New("rng: all-zero state")
+
+// SetState restores a state previously obtained from State.
+func (r *Rand) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return ErrZeroState
+	}
+	r.s = s
+	return nil
+}
+
+// Clone returns an independent generator positioned at exactly r's point in
+// the stream: both produce the same subsequent values, and advancing one
+// never affects the other.
+func (r *Rand) Clone() *Rand { return &Rand{s: r.s} }
 
 // Split derives an independent generator from r, for components that need
 // their own stream without perturbing the parent's sequence consumption

@@ -18,7 +18,13 @@ import (
 // and lets it run until the next natural event.
 type FixedPriority struct{}
 
-var _ engine.GlobalPolicy = FixedPriority{}
+var (
+	_ engine.GlobalPolicy = FixedPriority{}
+	_ engine.PolicyForker = FixedPriority{}
+)
+
+// ForkPolicy implements engine.PolicyForker; fixed priority is stateless.
+func (FixedPriority) ForkPolicy() engine.GlobalPolicy { return FixedPriority{} }
 
 // Name implements engine.GlobalPolicy.
 func (FixedPriority) Name() string { return "NoRandom" }
@@ -59,7 +65,15 @@ type NaiveRandom struct {
 var (
 	_ engine.GlobalPolicy     = (*NaiveRandom)(nil)
 	_ engine.DecisionDetailer = (*NaiveRandom)(nil)
+	_ engine.PolicyForker     = (*NaiveRandom)(nil)
 )
+
+// ForkPolicy implements engine.PolicyForker. NaiveRandom draws from the
+// engine's system stream, so the copy carries only configuration.
+func (n *NaiveRandom) ForkPolicy() engine.GlobalPolicy {
+	c := NaiveRandom{Slice: n.Slice, IdleBias: n.IdleBias}
+	return &c
+}
 
 // Name implements engine.GlobalPolicy.
 func (n *NaiveRandom) Name() string { return "NaiveRandom" }
@@ -117,7 +131,15 @@ var (
 	_ engine.GlobalPolicy     = (*TDMA)(nil)
 	_ engine.BoundaryPolicy   = (*TDMA)(nil)
 	_ engine.DecisionDetailer = (*TDMA)(nil)
+	_ engine.PolicyForker     = (*TDMA)(nil)
 )
+
+// ForkPolicy implements engine.PolicyForker. The slot table (starts/ends) is
+// immutable after NewTDMA, so sharing the slices with the copy is safe.
+func (t *TDMA) ForkPolicy() engine.GlobalPolicy {
+	c := TDMA{frame: t.frame, starts: t.starts, ends: t.ends}
+	return &c
+}
 
 // DecisionDetail implements engine.DecisionDetailer: the slot table leaves
 // at most one candidate (the slot owner, when runnable).
