@@ -337,7 +337,8 @@ func campaign(cfg config, w io.Writer) int {
 					return trial{}, fmt.Errorf("scenario %d (seed %#x): %w", i, seed, err)
 				}
 				prog.AddCache(st.CacheHits, st.CacheMisses)
-				prog.AddEngine(st.Counters.Decisions, st.Counters.ArenaBytesTouched)
+				prog.AddEngine(st.Counters.Decisions, st.Counters.ArenaBytesTouched,
+					st.Counters.FixpointIters, st.Counters.InterferenceTerms)
 				vs, total := suite.Violations()
 				if i+1 == cfg.injectFailure {
 					vs = append(vs, check.Violation{Oracle: "injected", Msg: "forced failure (test hook)"})

@@ -18,15 +18,26 @@ package core
 //   - remPrefix[h] = Σ_{j<h} remaining_j (term (b), the hp remaining-budget sum)
 //
 // Both are filled lazily in index order (extend), so a decision that tests up
-// to partition h pays O(h) hoisting total — amortized O(1) per test — and each
-// fixpoint iteration is a straight accumulation over three contiguous slices.
+// to partition h pays O(h) hoisting total — amortized O(1) per test.
 //
-// Exactness contract: every arithmetic step mirrors schedFixpoint/passHorizon/
-// Select operation-for-operation (including the NextSupply==0 fallback and the
-// float64 lottery weights), so verdicts, candidate lists, and random draws are
-// bit-identical to the AoS reference. TestViewMatchesAoS pins that per
-// function; the indexed-vs-scan digest suite pins it end-to-end, because
-// ScanStepping runs keep using the AoS path against live servers.
+// The fixpoint itself runs the decision kernel (kernel.go): no hardware
+// division (interference counts come from the precomputed vtime.Reciprocal
+// arena) and no redundant re-summation (the busy-interval length cur is
+// monotone nondecreasing within a run, so the kernel maintains each tracked
+// stream's next charged arrival in narr and a running interference sum,
+// advancing only the streams whose arrival was crossed — O(changed) per
+// iteration instead of O(h)). At convergence narr holds exactly the arrivals
+// passHorizon would recompute, so the verdict's validity horizon falls out of
+// the recorded minimum for free.
+//
+// Exactness contract: every arithmetic step computes the same values as
+// schedFixpoint/passHorizon/Select (including the NextSupply==0 fallback and
+// the float64 lottery weights), so verdicts, candidate lists, and random
+// draws are bit-identical to the AoS reference, which deliberately keeps
+// plain division as the oracle. TestViewMatchesAoS pins that per function
+// (including per-iteration equality of the incremental sum); the
+// indexed-vs-scan digest suite pins it end-to-end, because ScanStepping runs
+// keep using the AoS path against live servers.
 
 import (
 	"timedice/internal/bitset"
@@ -36,15 +47,16 @@ import (
 	"timedice/internal/vtime"
 )
 
-// stateView is the per-decision view over the engine's hot arenas. The five
-// state slices and the ready bitset are aliased, never copied; off and
-// remPrefix are policy-owned scratch reused across decisions.
+// stateView is the per-decision view over the engine's hot arenas. The six
+// arena slices and the ready bitset are aliased, never copied; off, remPrefix,
+// and narr are policy-owned scratch reused across decisions.
 type stateView struct {
 	remaining []vtime.Duration
 	budget    []vtime.Duration
 	period    []vtime.Duration
 	deadline  []vtime.Time
 	supply    []vtime.Time
+	recip     []vtime.Reciprocal
 	ready     *bitset.Hier
 
 	now vtime.Time
@@ -53,6 +65,12 @@ type stateView struct {
 	off       []vtime.Duration // supplyAt(j) − now
 	remPrefix []vtime.Duration // Σ_{j<h} remaining[j]
 	hoistN    int
+
+	// Fixpoint scratch: narr[j] is stream j's next charged arrival during the
+	// current fixpoint run; minArr is their minimum at the last passing
+	// convergence, consumed by horizon.
+	narr   []vtime.Duration
+	minArr vtime.Duration
 }
 
 // bind aliases the arena view for one decision at instant now. O(1) apart
@@ -63,15 +81,18 @@ func (v *stateView) bind(hot engine.Hot, now vtime.Time) {
 	v.period = hot.Period
 	v.deadline = hot.Deadline
 	v.supply = hot.Supply
+	v.recip = hot.Recip
 	v.ready = hot.Ready
 	v.now = now
 	n := len(hot.Remaining)
 	if cap(v.off) < n {
 		v.off = make([]vtime.Duration, n)
 		v.remPrefix = make([]vtime.Duration, n)
+		v.narr = make([]vtime.Duration, n)
 	}
 	v.off = v.off[:n]
 	v.remPrefix = v.remPrefix[:n]
+	v.narr = v.narr[:n]
 	v.hoistN = 0
 }
 
@@ -102,11 +123,24 @@ func (v *stateView) extend(h int) {
 	}
 }
 
-// fixpoint is schedFixpoint over the arena view: the Algorithm-3 busy-interval
-// iteration for partition h under an inversion of w. Callers must extend(h)
-// first. The interference accumulation runs over the contiguous off/period/
-// budget prefixes, with the remaining-budget sum served from remPrefix.
-func (v *stateView) fixpoint(h int, w vtime.Duration) (ok bool, cur, deadline vtime.Duration) {
+// fixpoint is schedFixpoint over the arena view — the Algorithm-3
+// busy-interval iteration for partition h under an inversion of w — run as the
+// incremental, divisionless decision kernel. Callers must extend(h) first.
+//
+// The tracked stream set is hp(Π_h), plus Π_h's own replenishment stream when
+// it is inactive (its indirect interference term) — exactly the streams
+// passHorizon charges. kernelInit opens the run at cur = w0 with one
+// divisionless sweep, leaving narr[j] = the first arrival of stream j at or
+// after cur. Each subsequent iteration exploits that cur only grows: streams
+// whose recorded arrival is still at or beyond the new cur contribute no new
+// replenishments, so their count, sum share, and arrival carry over untouched,
+// and the rescan (guarded by the running minimum arrival) advances only the
+// crossed ones. The running sum therefore always equals the reference's
+// from-scratch Σ ⌈(cur−o)/T⌉₀·B — in exact integers, hence bit-for-bit in
+// int64 — and the iteration sequence (and so the verdict and converged cur)
+// replays the reference exactly. At convergence narr holds precisely the
+// arrivals passHorizon recomputes, recorded in v.minArr for horizon.
+func (v *stateView) fixpoint(h int, w vtime.Duration) (ok bool, cur, deadline vtime.Duration, cost fixCost) {
 	active := v.remaining[h] > 0
 	w0 := w + v.remPrefix[h]
 	if active {
@@ -116,60 +150,81 @@ func (v *stateView) fixpoint(h int, w vtime.Duration) (ok bool, cur, deadline vt
 		deadline = v.deadline[h].Add(v.period[h]).Sub(v.now)
 	}
 	if w0 > deadline {
-		return false, 0, deadline
+		return false, 0, deadline, cost
 	}
-	off := v.off[:h]
-	per := v.period[:h]
-	bud := v.budget[:h]
+	m := h
+	if !active {
+		m = h + 1
+	}
+	off := v.off[:m]
+	per := v.period[:m]
+	bud := v.budget[:m]
+	rec := v.recip[:m]
+	narr := v.narr[:m]
 	cur = w0
+	sum, minArr := kernelInit(off, per, bud, rec, narr, cur)
+	cost.terms = int64(m)
 	for {
-		next := w0
-		for j, o := range off {
-			next += vtime.Duration(vtime.CeilDiv(cur-o, per[j])) * bud[j]
+		cost.iters++
+		if fixpointIterHook != nil {
+			fixpointIterHook(h, cur, sum)
 		}
-		if !active {
-			next += vtime.Duration(vtime.CeilDiv(cur-v.off[h], v.period[h])) * v.budget[h]
-		}
+		next := w0 + sum
 		if next > deadline {
-			return false, cur, deadline
+			return false, cur, deadline, cost
 		}
 		if next == cur {
-			return true, cur, deadline
+			v.minArr = minArr
+			return true, cur, deadline, cost
 		}
 		cur = next
+		if cur > minArr {
+			minArr = vtime.Forever
+			for j, a := range narr {
+				if a < cur {
+					d := vtime.Duration(rec[j].CeilDiv(cur - a))
+					sum += d * bud[j]
+					a += d * per[j]
+					narr[j] = a
+					cost.terms++
+				}
+				if a < minArr {
+					minArr = a
+				}
+			}
+		}
 	}
 }
 
 // horizon is passHorizon over the view: how far past now a passing verdict for
-// h stays exact. Callers must extend(h) first.
+// h stays exact. Must be called immediately after a passing fixpoint for the
+// same h, whose converged narr minimum it consumes — the tracked streams'
+// first arrivals at or after cur are already in hand, so no division and no
+// O(h) rescan. When the tracked set is empty (h = 0 and active), minArr is
+// Forever and only the deadline slack bounds the horizon, as in the
+// reference.
 func (v *stateView) horizon(h int, cur, deadline vtime.Duration) vtime.Duration {
 	horizon := deadline - cur
-	for j := 0; j <= h; j++ {
-		if j == h && v.remaining[h] > 0 {
-			break
-		}
-		o := v.off[j]
-		arr := o + vtime.Duration(vtime.CeilDiv(cur-o, v.period[j]))*v.period[j]
-		if gap := arr - cur; gap < horizon {
-			horizon = gap
-		}
+	if gap := v.minArr - cur; gap < horizon {
+		horizon = gap
 	}
 	return horizon
 }
 
 // testVerdict is the cache-aware test front end over the view, sharing Cache
-// (and therefore verdict validity and hit accounting) with the AoS path.
-func (v *stateView) testVerdict(h int, w vtime.Duration, testsRun *int64, cache *Cache) bool {
+// (and therefore verdict validity and hit accounting) with the AoS path. The
+// fixpoint's work tallies accumulate into res.
+func (v *stateView) testVerdict(h int, w vtime.Duration, res *SearchResult, cache *Cache) bool {
 	if cache != nil {
 		if ok, hit := cache.lookup(h, v.now); hit {
 			return ok
 		}
 	}
-	if testsRun != nil {
-		*testsRun++
-	}
+	res.Tests++
 	v.extend(h)
-	ok, cur, deadline := v.fixpoint(h, w)
+	ok, cur, deadline, cost := v.fixpoint(h, w)
+	res.FixpointIters += cost.iters
+	res.InterferenceTerms += cost.terms
 	if cache != nil {
 		validUntil := vtime.Infinity // FAIL holds for the rest of the epoch
 		if ok {
@@ -199,7 +254,7 @@ func (v *stateView) search(w vtime.Duration, scratch []int, cache *Cache) Search
 			return true
 		}
 		for h := examined; h < i; h++ {
-			if !v.testVerdict(h, w, &res.Tests, cache) {
+			if !v.testVerdict(h, w, &res, cache) {
 				failed = true
 				return false
 			}
@@ -216,7 +271,7 @@ func (v *stateView) search(w vtime.Duration, scratch []int, cache *Cache) Search
 	}
 	idleOK := true
 	for h := examined; h < v.n(); h++ {
-		if !v.testVerdict(h, w, &res.Tests, cache) {
+		if !v.testVerdict(h, w, &res, cache) {
 			idleOK = false
 			break
 		}
@@ -297,6 +352,8 @@ func (p *Policy) pickView(sys *engine.System, now vtime.Time, rnd *rng.Rand) *pa
 		}
 	}
 	p.stats.SchedTests += res.Tests
+	sys.Counters.FixpointIters += res.FixpointIters
+	sys.Counters.InterferenceTerms += res.InterferenceTerms
 	p.stats.CandidateSum += int64(len(res.Candidates))
 	p.lastCandidates, p.lastTests = int64(len(res.Candidates)), res.Tests
 	if res.IdleOK {

@@ -18,10 +18,12 @@ func viewFromStates(states []PartitionState, now vtime.Time) *stateView {
 		period:    make([]vtime.Duration, n),
 		deadline:  make([]vtime.Time, n),
 		supply:    make([]vtime.Time, n),
+		recip:     make([]vtime.Reciprocal, n),
 		ready:     bitset.New(n),
 		now:       now,
 		off:       make([]vtime.Duration, n),
 		remPrefix: make([]vtime.Duration, n),
+		narr:      make([]vtime.Duration, n),
 	}
 	for i := range states {
 		s := &states[i]
@@ -30,6 +32,7 @@ func viewFromStates(states []PartitionState, now vtime.Time) *stateView {
 		v.period[i] = s.Period
 		v.deadline[i] = s.NextReplenish
 		v.supply[i] = s.NextSupply
+		v.recip[i] = vtime.NewReciprocal(s.Period)
 		if s.Runnable {
 			v.ready.Set(i)
 		}
@@ -74,27 +77,59 @@ func randomStates(r *rng.Rand, n int, now vtime.Time) []PartitionState {
 }
 
 // TestViewMatchesAoS is the differential pin for the batched path: on random
-// snapshots, the view fixpoint, the full candidate search (cached and
-// uncached), and the lottery selection must reproduce the AoS reference
-// bit-for-bit — same verdicts, same candidates, same test counts, same random
-// draws.
+// snapshots, the view fixpoint (the divisionless incremental kernel), the
+// full candidate search (cached and uncached), and the lottery selection must
+// reproduce the AoS reference bit-for-bit — same verdicts, same candidates,
+// same test and iteration counts, same random draws. A fixpointIterHook
+// additionally re-sums the interference from scratch with plain division at
+// every kernel iteration and requires the incrementally maintained sum to
+// match exactly.
 func TestViewMatchesAoS(t *testing.T) {
 	r := rng.New(0xd1ce)
 	now := vtime.Time(17 * vtime.Millisecond)
 	w := DefaultQuantum
+
+	// The hook sees every kernel iteration of the trial's fixpoints,
+	// including those run inside the searches below.
+	var hookStates []PartitionState
+	fixpointIterHook = func(h int, cur, sum vtime.Duration) {
+		m := h
+		if !hookStates[h].Active {
+			m = h + 1
+		}
+		var ref vtime.Duration
+		for j := 0; j < m; j++ {
+			o := hookStates[j].supplyTime().Sub(now)
+			ref += streamInterference(cur, o, hookStates[j].Period, hookStates[j].Budget)
+		}
+		if sum != ref {
+			t.Fatalf("h=%d cur=%v: incremental sum %v, re-summed reference %v", h, cur, sum, ref)
+		}
+	}
+	defer func() { fixpointIterHook = nil }()
+
 	for trial := 0; trial < 500; trial++ {
 		n := 1 + r.Intn(24)
 		states := randomStates(r, n, now)
+		hookStates = states
 		v := viewFromStates(states, now)
 
 		// Per-partition fixpoint verdicts.
 		v.extend(n - 1)
 		for h := 0; h < n; h++ {
-			aok, acur, adl := schedFixpoint(states, h, now, w)
-			vok, vcur, vdl := v.fixpoint(h, w)
+			aok, acur, adl, acost := schedFixpoint(states, h, now, w)
+			vok, vcur, vdl, vcost := v.fixpoint(h, w)
 			if aok != vok || acur != vcur || adl != vdl {
 				t.Fatalf("trial %d h=%d: fixpoint (%v,%v,%v) vs view (%v,%v,%v)",
 					trial, h, aok, acur, adl, vok, vcur, vdl)
+			}
+			if acost.iters != vcost.iters {
+				t.Fatalf("trial %d h=%d: reference ran %d iterations, kernel %d — the kernel must replay the iteration sequence exactly",
+					trial, h, acost.iters, vcost.iters)
+			}
+			if vcost.terms > acost.terms {
+				t.Fatalf("trial %d h=%d: kernel evaluated %d interference terms, reference %d — incremental advance must never exceed full re-summation",
+					trial, h, vcost.terms, acost.terms)
 			}
 			if aok {
 				ah := passHorizon(states, h, now, acur, adl)
@@ -147,6 +182,14 @@ func compareSearch(t *testing.T, trial int, ctx string, a, b SearchResult) {
 	if a.IdleOK != b.IdleOK || a.Tests != b.Tests || len(a.Candidates) != len(b.Candidates) {
 		t.Fatalf("trial %d %s: AoS (cand %d, idle %v, tests %d) vs view (cand %d, idle %v, tests %d)",
 			trial, ctx, len(a.Candidates), a.IdleOK, a.Tests, len(b.Candidates), b.IdleOK, b.Tests)
+	}
+	// Iteration counts are path-independent; term counts are not (the kernel
+	// skips unchanged streams) but can only save work, never add it.
+	if a.FixpointIters != b.FixpointIters {
+		t.Fatalf("trial %d %s: AoS ran %d fixpoint iterations, view %d", trial, ctx, a.FixpointIters, b.FixpointIters)
+	}
+	if b.InterferenceTerms > a.InterferenceTerms {
+		t.Fatalf("trial %d %s: view evaluated %d interference terms, AoS %d", trial, ctx, b.InterferenceTerms, a.InterferenceTerms)
 	}
 	for k := range a.Candidates {
 		if a.Candidates[k] != b.Candidates[k] {

@@ -149,9 +149,12 @@ func (c *Cache) Reset() {
 
 // schedFixpoint runs the Algorithm-3 busy-interval iteration and returns the
 // verdict together with the fixpoint value cur and the deadline (both
-// relative to now) that passHorizon needs. It performs no counting; wrappers
-// account for the invocation.
-func schedFixpoint(states []PartitionState, h int, now vtime.Time, w vtime.Duration) (ok bool, cur, deadline vtime.Duration) {
+// relative to now) that passHorizon needs, plus the work tallies (iterations
+// and interference terms evaluated); wrappers account for the invocation
+// itself. This is the plain-division reference form — the decision kernel
+// (stateView.fixpoint) is pinned against it, so it must stay naive: every
+// iteration re-sums every charged stream through hardware division.
+func schedFixpoint(states []PartitionState, h int, now vtime.Time, w vtime.Duration) (ok bool, cur, deadline vtime.Duration, cost fixCost) {
 	s := &states[h]
 	var w0 vtime.Duration = w
 	if s.Active {
@@ -164,24 +167,27 @@ func schedFixpoint(states []PartitionState, h int, now vtime.Time, w vtime.Durat
 		w0 += states[j].Remaining
 	}
 	if w0 > deadline {
-		return false, 0, deadline
+		return false, 0, deadline, cost
 	}
 	cur = w0
 	for {
+		cost.iters++
 		next := w0
 		for j := 0; j < h; j++ {
 			o := states[j].supplyTime().Sub(now)
-			next += vtime.Duration(vtime.CeilDiv(cur-o, states[j].Period)) * states[j].Budget
+			next += streamInterference(cur, o, states[j].Period, states[j].Budget)
 		}
+		cost.terms += int64(h)
 		if !s.Active {
 			o := s.supplyTime().Sub(now)
-			next += vtime.Duration(vtime.CeilDiv(cur-o, s.Period)) * s.Budget
+			next += streamInterference(cur, o, s.Period, s.Budget)
+			cost.terms++
 		}
 		if next > deadline {
-			return false, cur, deadline
+			return false, cur, deadline, cost
 		}
 		if next == cur {
-			return true, cur, deadline
+			return true, cur, deadline, cost
 		}
 		cur = next
 	}
@@ -199,9 +205,7 @@ func passHorizon(states []PartitionState, h int, now vtime.Time, cur, deadline v
 		}
 		st := &states[j]
 		o := st.supplyTime().Sub(now)
-		// First stream arrival at or after cur: arrivals land at o + k·T_j and
-		// CeilDiv counts those strictly before cur.
-		arr := o + vtime.Duration(vtime.CeilDiv(cur-o, st.Period))*st.Period
+		arr := streamNextArrival(cur, o, st.Period)
 		if gap := arr - cur; gap < horizon {
 			horizon = gap
 		}
@@ -212,18 +216,19 @@ func passHorizon(states []PartitionState, h int, now vtime.Time, cur, deadline v
 // testVerdict is the cache-aware front end of SchedulabilityTest used by the
 // candidate search: with a nil cache it behaves identically to
 // SchedulabilityTest; with a cache it serves valid memoized verdicts and
-// memoizes fresh ones with their validity horizon. testsRun counts only
-// actual Algorithm-3 computations, never cache hits.
-func testVerdict(states []PartitionState, h int, now vtime.Time, w vtime.Duration, testsRun *int64, cache *Cache) bool {
+// memoizes fresh ones with their validity horizon. res.Tests counts only
+// actual Algorithm-3 computations, never cache hits; the fixpoint's work
+// tallies accumulate alongside.
+func testVerdict(states []PartitionState, h int, now vtime.Time, w vtime.Duration, res *SearchResult, cache *Cache) bool {
 	if cache != nil {
 		if ok, hit := cache.lookup(h, now); hit {
 			return ok
 		}
 	}
-	if testsRun != nil {
-		*testsRun++
-	}
-	ok, cur, deadline := schedFixpoint(states, h, now, w)
+	res.Tests++
+	ok, cur, deadline, cost := schedFixpoint(states, h, now, w)
+	res.FixpointIters += cost.iters
+	res.InterferenceTerms += cost.terms
 	if cache != nil {
 		validUntil := vtime.Infinity // FAIL holds for the rest of the epoch
 		if ok {

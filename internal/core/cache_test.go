@@ -31,41 +31,41 @@ func TestCachePrefixStaleness(t *testing.T) {
 
 	stamps := []uint64{1, 1}
 	c.begin(stamps, 2)
-	var tests int64
+	var res SearchResult
 	for h := 0; h < 2; h++ {
-		testVerdict(states, h, now, 0, &tests, &c)
+		testVerdict(states, h, now, 0, &res, &c)
 	}
-	if tests != 2 {
-		t.Fatalf("cold cache ran %d tests, want 2", tests)
+	if res.Tests != 2 {
+		t.Fatalf("cold cache ran %d tests, want 2", res.Tests)
 	}
 
 	// No new stamps: both verdicts must be served from cache.
 	c.begin(stamps, 2)
 	for h := 0; h < 2; h++ {
-		testVerdict(states, h, now, 0, &tests, &c)
+		testVerdict(states, h, now, 0, &res, &c)
 	}
-	if tests != 2 {
-		t.Fatalf("warm cache ran %d tests total, want still 2", tests)
+	if res.Tests != 2 {
+		t.Fatalf("warm cache ran %d tests total, want still 2", res.Tests)
 	}
 
 	// Stamp partition 1 only: verdict 0 stays cached, verdict 1 recomputes.
 	stamps[1] = 2
 	c.begin(stamps, 2)
 	for h := 0; h < 2; h++ {
-		testVerdict(states, h, now, 0, &tests, &c)
+		testVerdict(states, h, now, 0, &res, &c)
 	}
-	if tests != 3 {
-		t.Fatalf("after stamping partition 1: %d tests total, want 3 (only h=1 recomputes)", tests)
+	if res.Tests != 3 {
+		t.Fatalf("after stamping partition 1: %d tests total, want 3 (only h=1 recomputes)", res.Tests)
 	}
 
 	// Stamp partition 0: both verdicts read partition 0, both recompute.
 	stamps[0] = 3
 	c.begin(stamps, 2)
 	for h := 0; h < 2; h++ {
-		testVerdict(states, h, now, 0, &tests, &c)
+		testVerdict(states, h, now, 0, &res, &c)
 	}
-	if tests != 5 {
-		t.Fatalf("after stamping partition 0: %d tests total, want 5 (both recompute)", tests)
+	if res.Tests != 5 {
+		t.Fatalf("after stamping partition 0: %d tests total, want 5 (both recompute)", res.Tests)
 	}
 }
 
@@ -79,10 +79,10 @@ func TestCacheHorizonExpiry(t *testing.T) {
 	stamps := []uint64{1, 1}
 
 	c.begin(stamps, 2)
-	var tests int64
-	ok := testVerdict(states, 1, now, 0, &tests, &c)
-	if !ok || tests != 1 {
-		t.Fatalf("cold verdict: ok=%v tests=%d, want pass in 1 test", ok, tests)
+	var res SearchResult
+	ok := testVerdict(states, 1, now, 0, &res, &c)
+	if !ok || res.Tests != 1 {
+		t.Fatalf("cold verdict: ok=%v tests=%d, want pass in 1 test", ok, res.Tests)
 	}
 	horizon := c.entries[1].validUntil
 	if horizon <= now || horizon == vtime.Infinity {
@@ -91,21 +91,21 @@ func TestCacheHorizonExpiry(t *testing.T) {
 
 	// One instant before the horizon: still a hit.
 	c.begin(stamps, 2)
-	testVerdict(states, 1, horizon-1, 0, &tests, &c)
-	if tests != 1 {
-		t.Fatalf("within horizon: %d tests total, want still 1", tests)
+	testVerdict(states, 1, horizon-1, 0, &res, &c)
+	if res.Tests != 1 {
+		t.Fatalf("within horizon: %d tests total, want still 1", res.Tests)
 	}
 	// The horizon instant itself is inclusive.
 	c.begin(stamps, 2)
-	testVerdict(states, 1, horizon, 0, &tests, &c)
-	if tests != 1 {
-		t.Fatalf("at horizon: %d tests total, want still 1", tests)
+	testVerdict(states, 1, horizon, 0, &res, &c)
+	if res.Tests != 1 {
+		t.Fatalf("at horizon: %d tests total, want still 1", res.Tests)
 	}
 	// Past it: recompute.
 	c.begin(stamps, 2)
-	testVerdict(states, 1, horizon+1, 0, &tests, &c)
-	if tests != 2 {
-		t.Fatalf("past horizon: %d tests total, want 2", tests)
+	testVerdict(states, 1, horizon+1, 0, &res, &c)
+	if res.Tests != 2 {
+		t.Fatalf("past horizon: %d tests total, want 2", res.Tests)
 	}
 }
 
@@ -122,8 +122,8 @@ func TestCacheFailForever(t *testing.T) {
 	var c Cache
 	stamps := []uint64{1, 1}
 	c.begin(stamps, 2)
-	var tests int64
-	if ok := testVerdict(states, 1, now, 0, &tests, &c); ok {
+	var res SearchResult
+	if ok := testVerdict(states, 1, now, 0, &res, &c); ok {
 		t.Fatal("verdict unexpectedly passed; fixture needs a tighter deadline")
 	}
 	if got := c.entries[1].validUntil; got != vtime.Infinity {
@@ -132,17 +132,17 @@ func TestCacheFailForever(t *testing.T) {
 
 	// Arbitrarily far in the future, same epoch: still served from cache.
 	c.begin(stamps, 2)
-	testVerdict(states, 1, now.Add(vtime.MS(1_000_000)), 0, &tests, &c)
-	if tests != 1 {
-		t.Fatalf("far-future FAIL lookup ran %d tests total, want still 1", tests)
+	testVerdict(states, 1, now.Add(vtime.MS(1_000_000)), 0, &res, &c)
+	if res.Tests != 1 {
+		t.Fatalf("far-future FAIL lookup ran %d tests total, want still 1", res.Tests)
 	}
 
 	// A stamp anywhere in 0..1 drops it.
 	stamps[0] = 2
 	c.begin(stamps, 2)
-	testVerdict(states, 1, now, 0, &tests, &c)
-	if tests != 2 {
-		t.Fatalf("after stamp: %d tests total, want 2", tests)
+	testVerdict(states, 1, now, 0, &res, &c)
+	if res.Tests != 2 {
+		t.Fatalf("after stamp: %d tests total, want 2", res.Tests)
 	}
 }
 
@@ -158,10 +158,10 @@ func TestCacheHitMissAccounting(t *testing.T) {
 
 	stamps := []uint64{1, 1}
 	lookups := 0
-	var tests int64
+	var res SearchResult
 	consult := func(h int, at vtime.Time) {
 		c.begin(stamps, 2)
-		testVerdict(states, h, at, 0, &tests, &c)
+		testVerdict(states, h, at, 0, &res, &c)
 		lookups++
 	}
 
@@ -181,8 +181,8 @@ func TestCacheHitMissAccounting(t *testing.T) {
 	if c.Hits()+c.Misses() != c.Lookups() {
 		t.Fatalf("hits %d + misses %d != lookups %d", c.Hits(), c.Misses(), c.Lookups())
 	}
-	if c.Misses() != tests {
-		t.Fatalf("misses %d, but %d Algorithm-3 computations ran — each miss must compute exactly once", c.Misses(), tests)
+	if c.Misses() != res.Tests {
+		t.Fatalf("misses %d, but %d Algorithm-3 computations ran — each miss must compute exactly once", c.Misses(), res.Tests)
 	}
 	wantRatio := float64(c.Hits()) / float64(c.Lookups())
 	if got := c.HitRatio(); got != wantRatio {

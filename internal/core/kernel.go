@@ -1,0 +1,113 @@
+package core
+
+// The decision kernel's shared arithmetic. Algorithm 3's busy-interval
+// fixpoint charges, for every tracked replenishment stream, the Eq. (1)
+// interference term ⌈(cur − o)/T⌉₀ · B, and its validity horizon needs the
+// stream's first arrival at or after the converged interval end. Those two
+// formulas used to live in four places — the AoS loops in cache.go and the
+// SoA loops in batch.go — and a change to one could silently miss the
+// others. They now live here, in two forms that are pinned equal:
+//
+//   - the plain-division reference forms (streamInterference,
+//     streamNextArrival), used by the AoS path (schedFixpoint/passHorizon)
+//     that ScanStepping and the public SchedulabilityTest run. The reference
+//     deliberately keeps hardware division: it is the oracle the
+//     divisionless kernel is differentially pinned against, and the
+//     corrupted-reciprocal timedice_mutation mutant is caught precisely
+//     because this path does not share the reciprocal constants.
+//   - the divisionless kernel forms (kernelInit and the incremental advance
+//     inside stateView.fixpoint), which compute the identical values through
+//     vtime.Reciprocal over the engine's constant SoA arenas.
+//
+// vtime's recip_test.go proves the two division forms agree on the entire
+// int64 domain; TestViewMatchesAoS and the indexed-vs-scan differential pin
+// the composed loops.
+
+import "timedice/internal/vtime"
+
+// fixCost tallies the work of one Algorithm-3 busy-interval run:
+// fixpoint iterations and interference terms actually evaluated. Iterations
+// are path-independent — the incremental kernel replays the reference
+// iteration sequence exactly — while term counts depend on the evaluation
+// strategy (the reference re-sums every stream per iteration, the kernel
+// advances only the streams whose next arrival was crossed).
+type fixCost struct {
+	iters int64
+	terms int64
+}
+
+// add folds another run's tallies in.
+func (c *fixCost) add(o fixCost) {
+	c.iters += o.iters
+	c.terms += o.terms
+}
+
+// fixpointIterHook, when non-nil, observes every busy-interval iteration of
+// the incremental kernel before the convergence check: the level h, the
+// current interval length cur, and the incrementally maintained interference
+// sum at cur. Tests install it to assert per-iteration equality of the
+// running sum against a from-scratch re-summation; production leaves it nil
+// (one predictable branch per iteration).
+var fixpointIterHook func(h int, cur, sum vtime.Duration)
+
+// streamInterference is the Eq. (1) interference term of one replenishment
+// stream anchored at offset o (relative to now) with period T and budget B:
+// the number of replenishments strictly inside the busy interval [0, cur),
+// times the budget each delivers.
+func streamInterference(cur, o, period, budget vtime.Duration) vtime.Duration {
+	return vtime.Duration(vtime.CeilDiv(cur-o, period)) * budget
+}
+
+// streamNextArrival is the stream's first replenishment at or after cur:
+// arrivals land at o + k·T and CeilDiv counts those strictly before cur.
+func streamNextArrival(cur, o, period vtime.Duration) vtime.Duration {
+	return o + vtime.Duration(vtime.CeilDiv(cur-o, period))*period
+}
+
+// kernelInit is the unrolled SoA sweep that opens one kernel fixpoint run:
+// for every tracked stream j it derives — divisionlessly — the number of
+// replenishments strictly before cur, accumulates the interference sum, and
+// records the stream's next arrival at or after cur in narr. It returns the
+// sum and the minimum recorded arrival (vtime.Forever when no stream is
+// tracked). The four slices must share the same length as off (the caller
+// reslices them so the compiler drops the bounds checks); the 4-wide
+// unrolling keeps four independent multiply chains in flight per trip, which
+// is where the reciprocal's pipelining pays off over a divide-per-term loop.
+func kernelInit(off, per, bud []vtime.Duration, rec []vtime.Reciprocal, narr []vtime.Duration, cur vtime.Duration) (sum, minArr vtime.Duration) {
+	minArr = vtime.Forever
+	j := 0
+	for ; j+4 <= len(off); j += 4 {
+		c0 := vtime.Duration(rec[j].CeilDiv(cur - off[j]))
+		c1 := vtime.Duration(rec[j+1].CeilDiv(cur - off[j+1]))
+		c2 := vtime.Duration(rec[j+2].CeilDiv(cur - off[j+2]))
+		c3 := vtime.Duration(rec[j+3].CeilDiv(cur - off[j+3]))
+		sum += c0*bud[j] + c1*bud[j+1] + c2*bud[j+2] + c3*bud[j+3]
+		a0 := off[j] + c0*per[j]
+		a1 := off[j+1] + c1*per[j+1]
+		a2 := off[j+2] + c2*per[j+2]
+		a3 := off[j+3] + c3*per[j+3]
+		narr[j], narr[j+1], narr[j+2], narr[j+3] = a0, a1, a2, a3
+		if a1 < a0 {
+			a0 = a1
+		}
+		if a3 < a2 {
+			a2 = a3
+		}
+		if a2 < a0 {
+			a0 = a2
+		}
+		if a0 < minArr {
+			minArr = a0
+		}
+	}
+	for ; j < len(off); j++ {
+		c := vtime.Duration(rec[j].CeilDiv(cur - off[j]))
+		sum += c * bud[j]
+		a := off[j] + c*per[j]
+		narr[j] = a
+		if a < minArr {
+			minArr = a
+		}
+	}
+	return sum, minArr
+}

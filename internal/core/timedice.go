@@ -91,7 +91,7 @@ func SchedulabilityTest(states []PartitionState, h int, now vtime.Time, w vtime.
 	if testsRun != nil {
 		*testsRun++
 	}
-	ok, _, _ := schedFixpoint(states, h, now, w)
+	ok, _, _, _ := schedFixpoint(states, h, now, w)
 	return ok
 }
 
@@ -105,6 +105,15 @@ type SearchResult struct {
 	IdleOK bool
 	// Tests is the number of schedulability tests performed.
 	Tests int64
+	// FixpointIters and InterferenceTerms tally the Algorithm-3 work behind
+	// those tests: busy-interval iterations run, and interference terms
+	// evaluated. Iteration counts are path-independent — the batched decision
+	// kernel replays the reference's iteration sequence exactly — while term
+	// counts depend on the evaluation strategy (the reference re-sums every
+	// charged stream per iteration; the kernel advances only the streams
+	// whose next arrival was crossed).
+	FixpointIters     int64
+	InterferenceTerms int64
 }
 
 // CandidateSearch is Step 1 of Algorithm 1. states covers every partition in
@@ -145,7 +154,7 @@ func candidateSearch(states []PartitionState, now vtime.Time, w vtime.Duration, 
 		}
 		ok := true
 		for h := examined; h < i; h++ {
-			if !testVerdict(states, h, now, w, &res.Tests, cache) {
+			if !testVerdict(states, h, now, w, &res, cache) {
 				ok = false
 				break
 			}
@@ -167,7 +176,7 @@ func candidateSearch(states []PartitionState, now vtime.Time, w vtime.Duration, 
 	// remaining partition must pass.
 	idleOK := true
 	for h := examined; h < len(states); h++ {
-		if !testVerdict(states, h, now, w, &res.Tests, cache) {
+		if !testVerdict(states, h, now, w, &res, cache) {
 			idleOK = false
 			break
 		}
@@ -512,6 +521,8 @@ func (p *Policy) Pick(sys *engine.System, now vtime.Time) *partition.Partition {
 		}
 	}
 	p.stats.SchedTests += res.Tests
+	sys.Counters.FixpointIters += res.FixpointIters
+	sys.Counters.InterferenceTerms += res.InterferenceTerms
 	p.stats.CandidateSum += int64(len(res.Candidates))
 	p.lastCandidates, p.lastTests = int64(len(res.Candidates)), res.Tests
 	if res.IdleOK {

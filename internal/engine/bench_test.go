@@ -172,6 +172,85 @@ func BenchmarkEngineStepScale(b *testing.B) {
 	}
 }
 
+// buildDense assembles the n-partition dense-activity system (every partition
+// hot, staggered releases, long candidate lists) under TimeDiceW, the policy
+// whose Algorithm-3 decision kernel the workload is built to stress.
+func buildDense(tb testing.TB, n int) *engine.System {
+	tb.Helper()
+	built, err := workload.Dense(n).Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pol, err := policies.Build(policies.TimeDiceW, built.Partitions, policies.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sys, err := engine.New(built.Partitions, pol, rng.New(1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkEngineStepDense is BenchmarkEngineStepScale's heavy-inversion
+// sibling: one op advances the warmed dense-activity system by one simulated
+// millisecond under TimeDiceW. Where the sparse sweep keeps decisions trivial
+// (few candidates) to isolate the stepping machinery, the dense workload
+// keeps most partitions simultaneously runnable, so each decision's candidate
+// search runs deep Algorithm-3 tests — the end-to-end cost the decision
+// kernel (internal/core kernel.go) optimizes. Besides ns/op it reports the
+// engine's deterministic decision-cost proxies per step: fixpoint iterations
+// and interference terms (Counters.FixpointIters/InterferenceTerms).
+func BenchmarkEngineStepDense(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("P%d", n), func(b *testing.B) {
+			sys := buildDense(b, n)
+			// Warm past several replenishment cycles (period grows with n,
+			// up to 1.6s at P=1024, with releases staggered across the whole
+			// period) so freelists and scratch reach capacity.
+			sys.RunFor(10 * vtime.Second)
+			b.ReportAllocs()
+			before := sys.Counters
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.RunFor(vtime.Millisecond)
+			}
+			b.StopTimer()
+			steps := sys.Counters.Decisions - before.Decisions
+			if steps > 0 {
+				iters := sys.Counters.FixpointIters - before.FixpointIters
+				terms := sys.Counters.InterferenceTerms - before.InterferenceTerms
+				b.ReportMetric(float64(iters)/float64(steps), "fixiters/step")
+				b.ReportMetric(float64(terms)/float64(steps), "terms/step")
+			}
+		})
+	}
+}
+
+// TestEngineDenseZeroAlloc pins the allocation contract on the dense
+// heavy-inversion workload: long candidate lists and deep kernel fixpoints
+// must not reintroduce per-decision allocation.
+func TestEngineDenseZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin runs in the non-race CI lane")
+	}
+	for _, n := range []int{64, 1024} {
+		t.Run(fmt.Sprintf("P%d", n), func(t *testing.T) {
+			sys := buildDense(t, n)
+			sys.RunFor(10 * vtime.Second)
+			allocs := testing.AllocsPerRun(50, func() {
+				sys.RunFor(10 * vtime.Millisecond)
+			})
+			if allocs != 0 {
+				t.Errorf("dense stepping at P=%d allocates %.1f times per 10ms slice, want 0", n, allocs)
+			}
+		})
+	}
+}
+
 // TestEngineScaleZeroAlloc pins the allocation contract of the indexed
 // stepping path at scale: once warmed, stepping sparse systems up to
 // P=16384 allocates nothing.

@@ -117,6 +117,25 @@ type Counters struct {
 	// /metrics arena-bytes exposition quantify. Always maintained (a handful
 	// of integer adds per step, no memory traffic of its own).
 	ArenaBytesTouched int64
+
+	// FixpointIters and InterferenceTerms are the decision-cost proxies of
+	// the Algorithm-3 kernel, maintained by the TimeDice policy (zero under
+	// non-TimeDice policies): busy-interval fixpoint iterations run, and
+	// interference terms actually evaluated (one CeilDiv-and-accumulate
+	// each). FixpointIters is path-independent — the divisionless kernel
+	// replays the reference iteration sequence exactly, and the
+	// indexed-vs-scan differential pins the counter equal across paths.
+	// InterferenceTerms is deliberately path-dependent: the scan/AoS
+	// reference re-sums every charged stream each iteration while the
+	// incremental kernel advances only the streams whose next arrival was
+	// crossed, so the scan-vs-indexed gap in /metrics is the live view of
+	// the kernel's algorithmic savings (the same design as
+	// ArenaBytesTouched). Both depend on verdict-cache warmth (a cache hit
+	// skips the fixpoint entirely), so like the wall-clock measurements they
+	// are excluded from the snapshot/fork digest contract and start at zero
+	// after Restore/Fork.
+	FixpointIters     int64
+	InterferenceTerms int64
 }
 
 // Cache-traffic proxy constants for Counters.ArenaBytesTouched. The arena
@@ -206,6 +225,13 @@ type System struct {
 	hotSupply    []vtime.Time
 	hotBudget    []vtime.Duration
 	hotPeriod    []vtime.Duration
+	// hotRecip is the constant magic-reciprocal column paired with hotPeriod:
+	// the divisionless form of each partition's period, precomputed once per
+	// configuration (initHotArenas) so the batched Algorithm-3 kernel's
+	// interference sums run without a single hardware divide. Exactness is
+	// unconditional (vtime.Reciprocal), so the arena carries no extra
+	// invalidation obligations — it is as constant as hotPeriod itself.
+	hotRecip []vtime.Reciprocal
 	// dueBuf is the reusable scratch for the delivery phase's due set.
 	dueBuf []int32
 	// runnableBuf is the reusable backing array for Runnable.
@@ -271,13 +297,10 @@ func New(parts []*partition.Partition, policy GlobalPolicy, rnd *rng.Rand) (*Sys
 		hotSupply:    make([]vtime.Time, len(ordered)),
 		hotBudget:    make([]vtime.Duration, len(ordered)),
 		hotPeriod:    make([]vtime.Duration, len(ordered)),
+		hotRecip:     make([]vtime.Reciprocal, len(ordered)),
 		dueBuf:       make([]int32, 0, len(ordered)),
 		runnableBuf:  make([]*partition.Partition, 0, len(ordered)),
 		stamps:       make([]uint64, len(ordered)),
-	}
-	for i, p := range ordered {
-		s.hotBudget[i] = p.Server.Budget()
-		s.hotPeriod[i] = p.Server.Period()
 	}
 	s.initHotArenas()
 	// The lifecycle observers are installed unconditionally: they maintain
@@ -430,16 +453,22 @@ func (s *System) publishHot(i int, h partition.HotState) {
 	}
 }
 
-// initHotArenas fills the variable arena columns from the servers' initial
-// state (full budget, r = 0). It deliberately does not touch the local
-// schedulers: task arrival anchors stay lazy until the first delivery, so
-// spec transforms that rewrite offsets between build and run (BLINDER's
-// release quantization) still take effect. The ready bits start clear — no
-// jobs are released before the first step — and nextEv entries start at
-// zero, so the first step delivers to (and fully publishes) every partition.
+// initHotArenas fills the constant arena columns (budget, period, and the
+// period's magic reciprocal) from the server configuration and the variable
+// columns from the servers' initial state (full budget, r = 0). It
+// deliberately does not touch the local schedulers: task arrival anchors stay
+// lazy until the first delivery, so spec transforms that rewrite offsets
+// between build and run (BLINDER's release quantization) still take effect.
+// The ready bits start clear — no jobs are released before the first step —
+// and nextEv entries start at zero, so the first step delivers to (and fully
+// publishes) every partition. Both New and Reset run it, so the reciprocal
+// constants are rederived alongside the other columns on reuse.
 func (s *System) initHotArenas() {
 	for i, p := range s.Partitions {
 		srv := p.Server
+		s.hotBudget[i] = srv.Budget()
+		s.hotPeriod[i] = srv.Period()
+		s.hotRecip[i] = vtime.NewReciprocal(srv.Period())
 		s.hotRemaining[i] = srv.Remaining()
 		s.hotDeadline[i] = srv.Deadline()
 		s.hotSupply[i] = srv.NextReplenish()
@@ -450,12 +479,13 @@ func (s *System) initHotArenas() {
 // state the engine maintains for its own stepping and for policies: one slice
 // per quantity, indexed by partition priority order. See System.Hot.
 type Hot struct {
-	Remaining []vtime.Duration // B_i(t)
-	Budget    []vtime.Duration // B_i (constant)
-	Period    []vtime.Duration // T_i (constant)
-	Deadline  []vtime.Time     // d_{i,t} = r_{i,t} + T_i
-	Supply    []vtime.Time     // earliest future budget gain
-	Ready     *bitset.Hier     // bit i ⇔ Partitions[i].Runnable()
+	Remaining []vtime.Duration   // B_i(t)
+	Budget    []vtime.Duration   // B_i (constant)
+	Period    []vtime.Duration   // T_i (constant)
+	Recip     []vtime.Reciprocal // T_i as a magic reciprocal (constant)
+	Deadline  []vtime.Time       // d_{i,t} = r_{i,t} + T_i
+	Supply    []vtime.Time       // earliest future budget gain
+	Ready     *bitset.Hier       // bit i ⇔ Partitions[i].Runnable()
 }
 
 // Hot returns the arena view. The slices and bitset are owned by the System
@@ -472,6 +502,7 @@ func (s *System) Hot() Hot {
 		Remaining: s.hotRemaining,
 		Budget:    s.hotBudget,
 		Period:    s.hotPeriod,
+		Recip:     s.hotRecip,
 		Deadline:  s.hotDeadline,
 		Supply:    s.hotSupply,
 		Ready:     s.ready,

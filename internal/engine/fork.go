@@ -67,6 +67,7 @@ func (s *System) Fork() *System {
 		hotSupply:      slices.Clone(s.hotSupply),
 		hotBudget:      slices.Clone(s.hotBudget),
 		hotPeriod:      slices.Clone(s.hotPeriod),
+		hotRecip:       slices.Clone(s.hotRecip),
 		dueBuf:         make([]int32, 0, n),
 		runnableBuf:    make([]*partition.Partition, 0, n),
 		epoch:          s.epoch,
@@ -78,6 +79,11 @@ func (s *System) Fork() *System {
 	f.Counters.PolicyTime = 0
 	f.Counters.PolicySamples = 0
 	f.Counters.PolicyLatency = nil
+	// Decision-cost proxies depend on verdict-cache warmth, and the fork's
+	// policy starts with a cold cache (ForkPolicy); its observation starts
+	// fresh, mirroring Restore.
+	f.Counters.FixpointIters = 0
+	f.Counters.InterferenceTerms = 0
 	// Rebuild the heap from the copied keys (layout among equal keys is
 	// unobservable) and the ready set from the parent's bits.
 	for i, t := range f.nextEv {

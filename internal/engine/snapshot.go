@@ -66,7 +66,11 @@ const maxSnapshotBytes = 64 << 20
 // deterministic ones. The wall-clock measurements (PolicyTime,
 // PolicySamples, PolicyLatency) are observations of the host, not simulation
 // state, and are excluded from both the snapshot and the digest-identity
-// contract.
+// contract. The decision-cost proxies (FixpointIters, InterferenceTerms) are
+// excluded for a subtler reason: Restore flushes the policy's verdict cache
+// (exactly — the schedule is unchanged), so the restored run recomputes
+// fixpoints the straight-line run served from cache and the proxies diverge
+// by design. Like the wall-clock fields they restart at zero after Restore.
 func snapshotCounters(c *Counters) [10]int64 {
 	return [10]int64{
 		c.Decisions, c.Switches, c.IdleDecisions,

@@ -3,6 +3,7 @@ package gen
 import (
 	"testing"
 
+	"timedice/internal/engine"
 	"timedice/internal/experiments/runner"
 	"timedice/internal/policies"
 	"timedice/internal/rng"
@@ -68,13 +69,32 @@ func TestCachedUncachedDigestsMatch(t *testing.T) {
 	}
 }
 
+// comparableCounters projects an engine.Counters to the subset that must be
+// bit-identical across stepping paths: everything except ArenaBytesTouched
+// and InterferenceTerms, which are path-dependent by design (the scan path
+// visits every partition and re-sums every interference term; the indexed
+// path's kernel touches only what changed), and the wall-clock measurements,
+// which are host observations. Notably FixpointIters IS compared: the
+// divisionless kernel must replay the reference's iteration sequence exactly.
+func comparableCounters(c engine.Counters) engine.Counters {
+	c.ArenaBytesTouched = 0
+	c.InterferenceTerms = 0
+	c.PolicyTime = 0
+	c.PolicySamples = 0
+	c.PolicyLatency = nil
+	return c
+}
+
 // TestIndexedScanDigestsMatch is the exactness proof for the indexed
 // stepping path: over the generated corpus (all policies this time — the
 // event queue is policy-independent), the default indexed stepping and the
-// reference O(P) scan must produce byte-identical event streams and
-// identical oracle verdicts. Any divergence in delivery order, idle
-// notification, or horizon selection flips at least one event and shows up
-// as a digest mismatch.
+// reference O(P) scan must produce byte-identical event streams, identical
+// oracle verdicts, and identical deterministic engine counters (modulo the
+// deliberately path-dependent ones, see comparableCounters). Any divergence
+// in delivery order, idle notification, or horizon selection flips at least
+// one event and shows up as a digest mismatch; any drift in the decision
+// kernel's iteration replay shows up as a FixpointIters mismatch even when
+// the schedule happens to agree.
 func TestIndexedScanDigestsMatch(t *testing.T) {
 	n := 1000
 	if testing.Short() {
@@ -87,12 +107,12 @@ func TestIndexedScanDigestsMatch(t *testing.T) {
 		scs[i] = Generate(r, opts)
 	}
 	_, err := runner.Map(0, scs, func(i int, sc Scenario) (struct{}, error) {
-		indexed, err := Run(sc)
+		indexed, ist, err := RunRecorded(sc, nil)
 		if err != nil {
 			t.Errorf("scenario %d indexed: %v", i, err)
 			return struct{}{}, nil
 		}
-		scan, err := RunScan(sc)
+		scan, sst, err := RunScanRecorded(sc, nil)
 		if err != nil {
 			t.Errorf("scenario %d scan: %v", i, err)
 			return struct{}{}, nil
@@ -105,6 +125,13 @@ func TestIndexedScanDigestsMatch(t *testing.T) {
 		_, sv := scan.Violations()
 		if iv != sv {
 			t.Errorf("scenario %d: indexed %d violations, scan %d", i, iv, sv)
+		}
+		if ic, sc2 := comparableCounters(ist.Counters), comparableCounters(sst.Counters); ic != sc2 {
+			t.Errorf("scenario %d: counter divergence across stepping paths:\nindexed: %+v\nscan:    %+v", i, ic, sc2)
+		}
+		if ist.CacheHits != sst.CacheHits || ist.CacheMisses != sst.CacheMisses {
+			t.Errorf("scenario %d: verdict-cache divergence: indexed %d/%d, scan %d/%d",
+				i, ist.CacheHits, ist.CacheMisses, sst.CacheHits, sst.CacheMisses)
 		}
 		return struct{}{}, nil
 	})

@@ -49,3 +49,48 @@ func TestCacheMutationCaught(t *testing.T) {
 	}
 	t.Logf("mutant caught: %d/%d scenarios diverged", count, n)
 }
+
+// TestRecipMutationCaught proves the indexed-vs-scan differential has teeth
+// against the corrupted-reciprocal mutant: under -tags timedice_mutation,
+// vtime.NewReciprocal derives its magic constants for divisor d+1 instead of
+// d (see vtime/mutation_on.go), silently skewing every divisionless
+// interference count in the batched decision kernel. Only the indexed path
+// consumes reciprocals — the AoS scan path deliberately keeps plain hardware
+// division as the oracle — so the corruption must surface as a digest
+// divergence between the two stepping modes on at least one scenario. If
+// every scenario still matches, the kernel is not actually exercising the
+// reciprocal arena (or the differential lost its sensitivity) and this test
+// fails. The tag's other mutations (cache invalidation, snapshot supply,
+// server replenishment) apply to both runs equally and cancel out of this
+// comparison.
+func TestRecipMutationCaught(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 60
+	}
+	scs := diffScenarios(n, 0xd1ce)
+	diverged, err := runner.Map(0, scs, func(i int, sc Scenario) (bool, error) {
+		indexed, err := Run(sc)
+		if err != nil {
+			return false, err
+		}
+		scan, err := RunScan(sc)
+		if err != nil {
+			return false, err
+		}
+		return indexed.Digest() != scan.Digest(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, d := range diverged {
+		if d {
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatalf("corrupted-reciprocal mutant survived %d scenarios: the kernel differential cannot catch divisionless arithmetic drift", n)
+	}
+	t.Logf("mutant caught: %d/%d scenarios diverged", count, n)
+}

@@ -45,6 +45,24 @@ func RunRecorded(sc Scenario, extra telemetry.Sink) (*check.Suite, RunStats, err
 	return suite, st, nil
 }
 
+// RunScanRecorded is RunScan with the run's aggregate statistics returned,
+// the scan-side twin of RunRecorded. The differential suite uses the pair to
+// pin the engine's deterministic counters equal across stepping paths (except
+// the two that are path-dependent by design, ArenaBytesTouched and
+// InterferenceTerms).
+func RunScanRecorded(sc Scenario, extra telemetry.Sink) (*check.Suite, RunStats, error) {
+	suite, sys, err := run(sc, policies.Options{Quantum: sc.Quantum}, extra, scanStepping)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
+	st := RunStats{Counters: sys.Counters}
+	if cp, ok := sys.Policy.(interface{ Stats() core.Stats }); ok {
+		cs := cp.Stats()
+		st.CacheHits, st.CacheMisses = cs.CacheHits, cs.CacheMisses
+	}
+	return suite, st, nil
+}
+
 // RunUncached is Run with the TimeDice schedulability-verdict cache disabled.
 // Because the cache is exact, the returned suite must be indistinguishable
 // from Run's — same digest, same violations, same statistics — which the

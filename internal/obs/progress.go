@@ -31,6 +31,8 @@ type Progress struct {
 	cacheMiss  atomic.Int64
 	arenaBytes atomic.Int64
 	engSteps   atomic.Int64
+	fixIters   atomic.Int64
+	interfTerm atomic.Int64
 
 	mu     sync.Mutex
 	trialS *stats.Sketch // per-trial wall-clock seconds
@@ -65,13 +67,19 @@ func (p *Progress) AddCache(hits, misses int64) {
 }
 
 // AddEngine folds one trial's engine-side hot-path tallies into the campaign
-// totals: steps (= scheduling decisions) and the deterministic cache-traffic
-// proxy engine.Counters.ArenaBytesTouched. The ratio of the two is the
-// arena-bytes-per-step gauge /metrics exposes — the live view of the
-// BenchmarkEngineStepScale B/qpart-step story.
-func (p *Progress) AddEngine(steps, arenaBytes int64) {
+// totals: steps (= scheduling decisions), the deterministic cache-traffic
+// proxy engine.Counters.ArenaBytesTouched, and the decision-cost proxies
+// engine.Counters.FixpointIters/InterferenceTerms. The arena-bytes-per-step
+// ratio is the gauge /metrics exposes — the live view of the
+// BenchmarkEngineStepScale B/qpart-step story — and the interference-term
+// total plays the same role for the decision kernel: the scan-vs-indexed gap
+// in timedice_engine_interference_terms_total is the kernel's algorithmic
+// savings, live.
+func (p *Progress) AddEngine(steps, arenaBytes, fixpointIters, interferenceTerms int64) {
 	p.engSteps.Add(steps)
 	p.arenaBytes.Add(arenaBytes)
+	p.fixIters.Add(fixpointIters)
+	p.interfTerm.Add(interferenceTerms)
 }
 
 // Status is one consistent-enough snapshot of a running campaign: the
@@ -93,6 +101,11 @@ type Status struct {
 	// ArenaBytesPerStep is the campaign-wide mean of the engine's
 	// deterministic cache-traffic proxy (hot-state bytes touched per step).
 	ArenaBytesPerStep float64 `json:"arenaBytesPerStep"`
+	// FixpointIters and InterferenceTerms are the campaign totals of the
+	// Algorithm-3 decision-cost proxies (engine.Counters); their per-step
+	// means quantify how much busy-interval work each decision costs.
+	FixpointIters     int64   `json:"fixpointIters"`
+	InterferenceTerms int64   `json:"interferenceTerms"`
 	ElapsedSeconds    float64 `json:"elapsedSeconds"`
 	// RatePerSecond is completed trials per elapsed second.
 	RatePerSecond float64 `json:"ratePerSecond"`
@@ -108,17 +121,19 @@ type Status struct {
 // Snapshot assembles the current Status.
 func (p *Progress) Snapshot() Status {
 	s := Status{
-		Tool:        p.tool,
-		Total:       p.total,
-		Done:        p.done.Load(),
-		InFlight:    p.inflight.Load(),
-		Violations:  p.violations.Load(),
-		Events:      p.events.Load(),
-		CacheHits:   p.cacheHits.Load(),
-		CacheMisses: p.cacheMiss.Load(),
-		EngineSteps: p.engSteps.Load(),
-		ArenaBytes:  p.arenaBytes.Load(),
-		ETASeconds:  -1,
+		Tool:              p.tool,
+		Total:             p.total,
+		Done:              p.done.Load(),
+		InFlight:          p.inflight.Load(),
+		Violations:        p.violations.Load(),
+		Events:            p.events.Load(),
+		CacheHits:         p.cacheHits.Load(),
+		CacheMisses:       p.cacheMiss.Load(),
+		EngineSteps:       p.engSteps.Load(),
+		ArenaBytes:        p.arenaBytes.Load(),
+		FixpointIters:     p.fixIters.Load(),
+		InterferenceTerms: p.interfTerm.Load(),
+		ETASeconds:        -1,
 	}
 	if l := s.CacheHits + s.CacheMisses; l > 0 {
 		s.CacheHitRatio = float64(s.CacheHits) / float64(l)

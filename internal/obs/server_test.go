@@ -36,7 +36,7 @@ func TestServerEndpoints(t *testing.T) {
 	p.TrialStart()
 	p.TrialDone(1234, 2, 3*time.Millisecond)
 	p.AddCache(8, 2)
-	p.AddEngine(100, 6400)
+	p.AddEngine(100, 6400, 250, 900)
 
 	srv, err := obs.StartServer("127.0.0.1:0", p)
 	if err != nil {
@@ -65,6 +65,8 @@ func TestServerEndpoints(t *testing.T) {
 		"timedice_engine_steps_total 100",
 		"timedice_engine_arena_bytes_total 6400",
 		"timedice_engine_arena_bytes_per_step 64",
+		"timedice_engine_fixpoint_iters_total 250",
+		"timedice_engine_interference_terms_total 900",
 		`timedice_trial_seconds{quantile="0.5"}`,
 		"timedice_runner_workers_active",
 		"go_heap_alloc_bytes",

@@ -1,0 +1,10 @@
+//go:build timedice_mutation
+
+package vtime
+
+// Mutation build: Reciprocal.CeilDiv degrades to floor rounding, so the
+// divisionless kernel undercounts every partial-period replenishment while
+// the plain-division reference paths stay exact. See mutation_off.go for the
+// contract; the point of this build is proving the indexed-vs-scan
+// differential digest suite notices.
+const recipRoundSkew = 1

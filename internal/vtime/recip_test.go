@@ -1,0 +1,176 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+
+	"timedice/internal/rng"
+)
+
+// adversarialDivisors are the divisor shapes where magic-reciprocal schemes
+// historically break: 1, powers of two and their neighbours (the three
+// generation branches), small primes, and divisors near the top of the
+// domain where the 128/64 derivation has one-ULP headroom.
+func adversarialDivisors() []Duration {
+	ds := []Duration{1, 2, 3, 5, 7, 10, 11, 641, 6700417,
+		math.MaxInt64, math.MaxInt64 - 1, math.MaxInt64/2 + 1}
+	for sh := 1; sh < 63; sh++ {
+		p := Duration(1) << sh
+		ds = append(ds, p-1, p, p+1)
+	}
+	return ds
+}
+
+// adversarialDividends enumerates, for divisor d, the dividends around every
+// quotient discontinuity a property test must not miss: multiples of d and
+// their neighbours, the domain boundaries, and the near-overflow top.
+func adversarialDividends(d Duration) []Duration {
+	as := []Duration{math.MinInt64, -1, 0, 1, d - 1, d, d + 1,
+		math.MaxInt64 - 1, math.MaxInt64}
+	for _, k := range []int64{2, 3, 63, 1 << 20, math.MaxInt64 / 2} {
+		if k > math.MaxInt64/int64(d) {
+			break
+		}
+		m := Duration(k * int64(d))
+		as = append(as, m-1, m, m+1)
+	}
+	return as
+}
+
+// checkAgainstPlain asserts both Reciprocal quotient forms equal the plain
+// hardware-division reference for (a, b).
+func checkAgainstPlain(t *testing.T, r Reciprocal, a, b Duration) {
+	t.Helper()
+	if got, want := r.CeilDiv(a), CeilDiv(a, b); got != want {
+		t.Fatalf("Reciprocal(%d).CeilDiv(%d) = %d, want %d", b, a, got, want)
+	}
+	if got, want := r.FloorDiv(a), FloorDiv(a, b); got != want {
+		t.Fatalf("Reciprocal(%d).FloorDiv(%d) = %d, want %d", b, a, got, want)
+	}
+}
+
+// TestReciprocalExhaustiveQuotients proves exactness where every quotient
+// value is reachable: for each small divisor, sweep every dividend through
+// several full quotient periods so each of the three generation branches
+// (power-of-two shift, trivial magic, add-marker magic) sees every remainder.
+func TestReciprocalExhaustiveQuotients(t *testing.T) {
+	for b := Duration(1); b <= 128; b++ {
+		r := NewReciprocal(b)
+		for a := Duration(-2 * b); a <= 6*b+3; a++ {
+			checkAgainstPlain(t, r, a, b)
+		}
+	}
+}
+
+// TestReciprocalAdversarial crosses the adversarial divisor and dividend
+// sets: generation-branch boundaries × quotient discontinuities × the
+// near-overflow top of the int64 domain.
+func TestReciprocalAdversarial(t *testing.T) {
+	for _, b := range adversarialDivisors() {
+		r := NewReciprocal(b)
+		for _, a := range adversarialDividends(b) {
+			checkAgainstPlain(t, r, a, b)
+		}
+	}
+}
+
+// TestReciprocalRandomized cross-checks a seeded random sample of the full
+// domain, biased toward small divisors (realistic periods are microseconds
+// to minutes) but covering the whole range.
+func TestReciprocalRandomized(t *testing.T) {
+	r := rng.New(0xd1ce)
+	for trial := 0; trial < 200000; trial++ {
+		var b Duration
+		switch trial % 3 {
+		case 0:
+			b = Duration(1 + r.Int63n(1<<20)) // period-scale divisors
+		case 1:
+			b = Duration(1 + r.Int63n(math.MaxInt64))
+		default:
+			b = Duration(1) << uint(r.Intn(63)) // powers of two
+		}
+		rec := NewReciprocal(b)
+		a := Duration(r.Int63n(math.MaxInt64) - r.Int63n(1<<30))
+		checkAgainstPlain(t, rec, a, b)
+	}
+}
+
+// TestReciprocalPanics pins the divisor contract shared with CeilDiv.
+func TestReciprocalPanics(t *testing.T) {
+	for _, b := range []Duration{0, -1, math.MinInt64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewReciprocal(%d) did not panic", b)
+				}
+			}()
+			NewReciprocal(b)
+		}()
+	}
+}
+
+// FuzzDivisors is the continuous-coverage version of the property tests: any
+// (a, b) pair with b > 0 must divide identically through the plain and
+// reciprocal paths, and the ceil/floor pair must satisfy the Euclidean
+// relations. Wired into the nightly fuzz matrix next to the gen/engine
+// targets; crashers land in testdata/fuzz/FuzzDivisors.
+func FuzzDivisors(f *testing.F) {
+	f.Add(int64(1), int64(1))
+	f.Add(int64(0), int64(7))
+	f.Add(int64(-5), int64(3))
+	f.Add(int64(19), int64(20000))
+	f.Add(int64(math.MaxInt64), int64(3))
+	f.Add(int64(math.MaxInt64-1), int64(math.MaxInt64))
+	f.Add(int64(1)<<62, int64(1)<<21)
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64/2+1))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		if b <= 0 {
+			// Non-positive divisors are a contract violation; both paths
+			// must refuse identically.
+			for _, fn := range []func(){
+				func() { CeilDiv(Duration(a), Duration(b)) },
+				func() { FloorDiv(Duration(a), Duration(b)) },
+				func() { NewReciprocal(Duration(b)) },
+			} {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Fatalf("divisor %d did not panic", b)
+						}
+					}()
+					fn()
+				}()
+			}
+			return
+		}
+		ad, bd := Duration(a), Duration(b)
+		rec := NewReciprocal(bd)
+		c, fl := CeilDiv(ad, bd), FloorDiv(ad, bd)
+		if rc := rec.CeilDiv(ad); rc != c {
+			t.Fatalf("Reciprocal(%d).CeilDiv(%d) = %d, plain = %d", b, a, rc, c)
+		}
+		if rf := rec.FloorDiv(ad); rf != fl {
+			t.Fatalf("Reciprocal(%d).FloorDiv(%d) = %d, plain = %d", b, a, rf, fl)
+		}
+		// Euclidean sanity on the clamped-at-zero operators.
+		if a <= 0 {
+			if c != 0 {
+				t.Fatalf("CeilDiv(%d,%d) = %d, want 0", a, b, c)
+			}
+		} else {
+			if c != fl && c != fl+1 {
+				t.Fatalf("ceil %d vs floor %d diverge beyond one for %d/%d", c, fl, a, b)
+			}
+			if (a%b == 0) != (c == fl) {
+				t.Fatalf("ceil==floor must coincide with exact division: %d/%d gave ceil %d floor %d", a, b, c, fl)
+			}
+		}
+		if a >= 0 {
+			if fl != a/b {
+				t.Fatalf("FloorDiv(%d,%d) = %d, want %d", a, b, fl, a/b)
+			}
+		} else if fl != 0 {
+			t.Fatalf("FloorDiv(%d,%d) = %d, want 0", a, b, fl)
+		}
+	})
+}

@@ -135,6 +135,12 @@ func FromFloatMS(ms float64) Duration {
 // CeilDiv returns ceil(a/b) for positive b, and 0 when a <= 0. This is the
 // ⌈x⌉₀ operator of the paper's Eq. (1): the number of replenishments with
 // offsets o, o+T, o+2T, ... that fall strictly inside a window of length a.
+//
+// The (a-1)/b + 1 form is exact over the entire int64 domain: the textbook
+// (a+b-1)/b wraps for a+b-1 > MaxInt64, which matters because
+// Reciprocal.CeilDiv computes the true quotient everywhere and the two must
+// agree bit-for-bit (the divisionless decision kernel is pinned
+// digest-identical to this reference).
 func CeilDiv(a, b Duration) int64 {
 	if b <= 0 {
 		panic("vtime: CeilDiv with non-positive divisor")
@@ -142,7 +148,7 @@ func CeilDiv(a, b Duration) int64 {
 	if a <= 0 {
 		return 0
 	}
-	return (int64(a) + int64(b) - 1) / int64(b)
+	return (int64(a)-1)/int64(b) + 1
 }
 
 // FloorDiv returns floor(a/b) for positive b, and 0 when a < 0.

@@ -255,6 +255,38 @@ func uuniFast(r *rng.Rand, n int, total float64) []float64 {
 // without bound). For n ≤ 256 the clamp leaves the historical 500µs WCET
 // unchanged. The scaling benchmarks (BenchmarkEngineStepScale) step this
 // system at P ∈ {2, 8, 64, 256, 1024, 4096, 16384}.
+// Dense builds an n-partition system with dense activity — the opposite pole
+// from Sparse and the heavy-inversion shape that stresses the Algorithm-3
+// decision kernel. All partitions share one replenishment period (growing
+// with n so per-partition budgets stay ≈1.2 ms at 75% total supply
+// utilization) and run one task each whose releases are staggered across the
+// period and whose WCET fills half the budget. At steady state a large
+// fraction of partitions simultaneously hold queued work and undrained
+// budget, so candidate lists are long, nearly every decision walks deep into
+// the priority order, and each level-h test charges O(h) interference
+// streams — the case where the divisionless incremental fixpoint matters
+// most. Demand utilization is 37.5%, so queues drain every period and the
+// steady state stays allocation-free. BenchmarkEngineStepDense steps this
+// system next to BenchmarkEngineStepScale's Sparse sweep.
+func Dense(n int) model.SystemSpec {
+	spec := model.SystemSpec{Name: fmt.Sprintf("dense-%d", n)}
+	period := vtime.MS(100) * vtime.Duration((n+63)/64)
+	budget := period * 3 / (4 * vtime.Duration(n))
+	for i := 0; i < n; i++ {
+		spec.Partitions = append(spec.Partitions, model.PartitionSpec{
+			Name:   fmt.Sprintf("dense%d", i),
+			Budget: budget, Period: period,
+			Tasks: []model.TaskSpec{{
+				Name:   "t",
+				Period: period,
+				WCET:   budget / 2,
+				Offset: period * vtime.Duration(i) / vtime.Duration(n),
+			}},
+		})
+	}
+	return spec
+}
+
 func Sparse(n int) model.SystemSpec {
 	spec := model.SystemSpec{Name: fmt.Sprintf("sparse-%d", n)}
 	hot := 3

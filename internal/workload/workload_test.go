@@ -94,6 +94,31 @@ func TestThreePartition(t *testing.T) {
 	}
 }
 
+func TestDense(t *testing.T) {
+	for _, n := range []int{1, 64, 256, 1024} {
+		spec := Dense(n)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("Dense(%d) invalid: %v", n, err)
+		}
+		if len(spec.Partitions) != n {
+			t.Fatalf("Dense(%d): %d partitions", n, len(spec.Partitions))
+		}
+		// Supply utilization stays ≈75% regardless of n so the system never
+		// overloads (queues drain, steady state is allocation-free).
+		if u := spec.Utilization(); math.Abs(u-0.75) > 0.02 {
+			t.Errorf("Dense(%d) utilization %v, want ≈0.75", n, u)
+		}
+		for i, p := range spec.Partitions {
+			if len(p.Tasks) != 1 {
+				t.Fatalf("Dense(%d) partition %d has %d tasks", n, i, len(p.Tasks))
+			}
+			if tk := p.Tasks[0]; tk.WCET > p.Budget {
+				t.Errorf("Dense(%d) partition %d demand %v exceeds budget %v", n, i, tk.WCET, p.Budget)
+			}
+		}
+	}
+}
+
 func TestRandomGenerator(t *testing.T) {
 	r := rng.New(77)
 	opts := DefaultRandomOptions()
