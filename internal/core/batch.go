@@ -67,10 +67,11 @@ type stateView struct {
 	hoistN    int
 
 	// Fixpoint scratch: narr[j] is stream j's next charged arrival during the
-	// current fixpoint run; minArr is their minimum at the last passing
-	// convergence, consumed by horizon.
-	narr   []vtime.Duration
-	minArr vtime.Duration
+	// current fixpoint run. The sequential path passes this one slice to every
+	// fixpoint call; the parallel search hands each worker its own slice so
+	// concurrent speculative fixpoints over the shared read-only view never
+	// alias scratch.
+	narr []vtime.Duration
 }
 
 // bind aliases the arena view for one decision at instant now. O(1) apart
@@ -139,8 +140,13 @@ func (v *stateView) extend(h int) {
 // from-scratch Σ ⌈(cur−o)/T⌉₀·B — in exact integers, hence bit-for-bit in
 // int64 — and the iteration sequence (and so the verdict and converged cur)
 // replays the reference exactly. At convergence narr holds precisely the
-// arrivals passHorizon recomputes, recorded in v.minArr for horizon.
-func (v *stateView) fixpoint(h int, w vtime.Duration) (ok bool, cur, deadline vtime.Duration, cost fixCost) {
+// arrivals passHorizon recomputes; their minimum is returned in minArr for
+// horizonOf.
+//
+// scratch is the caller-owned arrival buffer (at least h+1 long); apart from
+// it and the returned values, fixpoint reads the view but writes nothing, so
+// calls with distinct scratch slices may run concurrently over one view.
+func (v *stateView) fixpoint(h int, w vtime.Duration, scratch []vtime.Duration) (ok bool, cur, deadline, minArr vtime.Duration, cost fixCost) {
 	active := v.remaining[h] > 0
 	w0 := w + v.remPrefix[h]
 	if active {
@@ -150,7 +156,7 @@ func (v *stateView) fixpoint(h int, w vtime.Duration) (ok bool, cur, deadline vt
 		deadline = v.deadline[h].Add(v.period[h]).Sub(v.now)
 	}
 	if w0 > deadline {
-		return false, 0, deadline, cost
+		return false, 0, deadline, 0, cost
 	}
 	m := h
 	if !active {
@@ -160,7 +166,7 @@ func (v *stateView) fixpoint(h int, w vtime.Duration) (ok bool, cur, deadline vt
 	per := v.period[:m]
 	bud := v.budget[:m]
 	rec := v.recip[:m]
-	narr := v.narr[:m]
+	narr := scratch[:m]
 	cur = w0
 	sum, minArr := kernelInit(off, per, bud, rec, narr, cur)
 	cost.terms = int64(m)
@@ -171,11 +177,10 @@ func (v *stateView) fixpoint(h int, w vtime.Duration) (ok bool, cur, deadline vt
 		}
 		next := w0 + sum
 		if next > deadline {
-			return false, cur, deadline, cost
+			return false, cur, deadline, 0, cost
 		}
 		if next == cur {
-			v.minArr = minArr
-			return true, cur, deadline, cost
+			return true, cur, deadline, minArr, cost
 		}
 		cur = next
 		if cur > minArr {
@@ -196,16 +201,17 @@ func (v *stateView) fixpoint(h int, w vtime.Duration) (ok bool, cur, deadline vt
 	}
 }
 
-// horizon is passHorizon over the view: how far past now a passing verdict for
-// h stays exact. Must be called immediately after a passing fixpoint for the
-// same h, whose converged narr minimum it consumes — the tracked streams'
-// first arrivals at or after cur are already in hand, so no division and no
-// O(h) rescan. When the tracked set is empty (h = 0 and active), minArr is
-// Forever and only the deadline slack bounds the horizon, as in the
-// reference.
-func (v *stateView) horizon(h int, cur, deadline vtime.Duration) vtime.Duration {
+// horizonOf is passHorizon over the view: how far past now a passing verdict
+// stays exact, from the converged fixpoint value cur, the relative deadline,
+// and the minimum next charged arrival minArr the fixpoint returned — the
+// tracked streams' first arrivals at or after cur are already in hand, so no
+// division and no O(h) rescan. When the tracked set is empty (h = 0 and
+// active), minArr is Forever and only the deadline slack bounds the horizon,
+// as in the reference. A pure function of its arguments, so speculative
+// workers can fold it into their recorded verdicts.
+func horizonOf(cur, deadline, minArr vtime.Duration) vtime.Duration {
 	horizon := deadline - cur
-	if gap := v.minArr - cur; gap < horizon {
+	if gap := minArr - cur; gap < horizon {
 		horizon = gap
 	}
 	return horizon
@@ -222,13 +228,13 @@ func (v *stateView) testVerdict(h int, w vtime.Duration, res *SearchResult, cach
 	}
 	res.Tests++
 	v.extend(h)
-	ok, cur, deadline, cost := v.fixpoint(h, w)
+	ok, cur, deadline, minArr, cost := v.fixpoint(h, w, v.narr)
 	res.FixpointIters += cost.iters
 	res.InterferenceTerms += cost.terms
 	if cache != nil {
 		validUntil := vtime.Infinity // FAIL holds for the rest of the epoch
 		if ok {
-			validUntil = v.now.Add(v.horizon(h, cur, deadline))
+			validUntil = v.now.Add(horizonOf(cur, deadline, minArr))
 		}
 		cache.store(h, ok, validUntil)
 	}
@@ -341,7 +347,11 @@ func (p *Policy) pickView(sys *engine.System, now vtime.Time, rnd *rng.Rand) *pa
 		if p.cache != nil {
 			p.cache.begin(sys.StateStamps(), v.n())
 		}
-		res = v.search(p.quantum, p.scratch, p.cache)
+		if pool, ranges := sys.ShardExec(); pool != nil {
+			res = p.searchParallel(v, pool, ranges, p.scratch, p.cache)
+		} else {
+			res = v.search(p.quantum, p.scratch, p.cache)
+		}
 		p.scratch = res.Candidates
 		if p.cache != nil {
 			p.searchInit = true

@@ -118,7 +118,7 @@ func TestViewMatchesAoS(t *testing.T) {
 		v.extend(n - 1)
 		for h := 0; h < n; h++ {
 			aok, acur, adl, acost := schedFixpoint(states, h, now, w)
-			vok, vcur, vdl, vcost := v.fixpoint(h, w)
+			vok, vcur, vdl, vmin, vcost := v.fixpoint(h, w, v.narr)
 			if aok != vok || acur != vcur || adl != vdl {
 				t.Fatalf("trial %d h=%d: fixpoint (%v,%v,%v) vs view (%v,%v,%v)",
 					trial, h, aok, acur, adl, vok, vcur, vdl)
@@ -133,7 +133,7 @@ func TestViewMatchesAoS(t *testing.T) {
 			}
 			if aok {
 				ah := passHorizon(states, h, now, acur, adl)
-				vh := v.horizon(h, vcur, vdl)
+				vh := horizonOf(vcur, vdl, vmin)
 				if ah != vh {
 					t.Fatalf("trial %d h=%d: passHorizon %v vs view %v", trial, h, ah, vh)
 				}

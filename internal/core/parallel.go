@@ -1,0 +1,240 @@
+package core
+
+// This file is the policy half of sharded stepping: the parallel candidate
+// search. It parallelizes the one decision phase whose work decomposes by
+// partition index — the batched Algorithm-3 fixpoints — while leaving every
+// observable byte of the decision identical to the sequential search,
+// including the counters (Tests, FixpointIters, InterferenceTerms, cache
+// hits/misses) and the verdict-cache contents.
+//
+// The scheme is speculate-then-replay:
+//
+//  1. Speculate (parallel): after cache.begin and one upfront extend(n−1),
+//     the arena view is frozen read-only for the duration of the dispatch.
+//     Workers sweep the shard ranges intersected with [c0, n) — c0 the first
+//     ready partition, below which the search never tests — and for every h
+//     whose cached verdict would miss (cache.peek, non-mutating) run the
+//     fixpoint with per-worker arrival scratch, recording the verdict, its
+//     validity horizon, and its work tallies into per-h slots. Writes are
+//     disjoint by construction (each h belongs to exactly one shard, each
+//     shard to exactly one worker).
+//
+//  2. Replay (sequential): rerun the exact control flow of stateView.search,
+//     with testVerdict consuming recorded results instead of computing.
+//     Lookups, misses, stores, searchValid accounting, and early exits all
+//     happen here, in sequential order — so the cache state and every
+//     counter land byte-identical to the sequential run, and speculative
+//     work past the sequential stopping point is simply discarded.
+//
+// Why peek agrees with the replayed lookup: the search tests each h at most
+// once, in strictly increasing order, so every store during replay lands at
+// an index the replay has already consumed; the entry peek read during
+// speculation is exactly the entry the replay's lookup reads. (prefix is
+// fixed at begin.)
+//
+// The RNG draw (selectFrom) stays outside all of this, sequential and
+// unchanged: parallelism ends at the join barrier, before the first random
+// number is consumed.
+
+import (
+	"timedice/internal/shard"
+	"timedice/internal/vtime"
+)
+
+// parMinSpan is the minimum test span n−c0 dispatched to the pool: below
+// it the two barrier crossings cost more than the handful of fixpoints they
+// would parallelize. Kept small so correctness coverage (the differential
+// suite) exercises the parallel path even on modest-P scenarios.
+const parMinSpan = 4
+
+// parState is the Policy-owned scratch of the parallel search. The per-h
+// record slices are indexed by partition; narr is per-worker fixpoint
+// scratch. Everything is reused across decisions — steady state allocates
+// nothing.
+type parState struct {
+	// Published to the workers by Pool.Run's release barrier; read-only
+	// until the join barrier.
+	v      *stateView
+	cache  *Cache
+	w      vtime.Duration
+	c0     int
+	pool   *shard.Pool
+	ranges []shard.Range
+
+	// Per-h speculation records (disjoint writes across workers).
+	done  []bool
+	ok    []bool
+	valid []vtime.Time
+	iters []int64
+	terms []int64
+
+	// Per-worker arrival scratch for concurrent fixpoints.
+	narr [][]vtime.Duration
+
+	fn func(worker int) // prebuilt dispatch closure (specWorker)
+}
+
+// prepare sizes the scratch for n partitions and w workers and publishes
+// this decision's inputs.
+func (ps *parState) prepare(v *stateView, cache *Cache, w vtime.Duration, c0 int, pool *shard.Pool, ranges []shard.Range) {
+	n := v.n()
+	if cap(ps.done) < n {
+		ps.done = make([]bool, n)
+		ps.ok = make([]bool, n)
+		ps.valid = make([]vtime.Time, n)
+		ps.iters = make([]int64, n)
+		ps.terms = make([]int64, n)
+	}
+	ps.done = ps.done[:n]
+	ps.ok = ps.ok[:n]
+	ps.valid = ps.valid[:n]
+	ps.iters = ps.iters[:n]
+	ps.terms = ps.terms[:n]
+	for h := c0; h < n; h++ {
+		ps.done[h] = false
+	}
+	if len(ps.narr) < pool.Workers() || (len(ps.narr) > 0 && cap(ps.narr[0]) < n) {
+		ps.narr = make([][]vtime.Duration, pool.Workers())
+		for i := range ps.narr {
+			ps.narr[i] = make([]vtime.Duration, n)
+		}
+	}
+	if ps.fn == nil {
+		ps.fn = ps.specWorker
+	}
+	ps.v, ps.cache, ps.w, ps.c0, ps.pool, ps.ranges = v, cache, w, c0, pool, ranges
+}
+
+// specWorker is the speculation phase body for one worker: sweep the owned
+// shards (worker w owns shards w, w+W, …, same assignment as the engine's
+// due phase) intersected with [c0, n), computing every verdict the replay
+// could need.
+func (ps *parState) specWorker(worker int) {
+	wn := ps.pool.Workers()
+	narr := ps.narr[worker]
+	v, cache, now, w := ps.v, ps.cache, ps.v.now, ps.w
+	for k := worker; k < len(ps.ranges); k += wn {
+		r := ps.ranges[k]
+		lo := r.Lo
+		if lo < ps.c0 {
+			lo = ps.c0
+		}
+		for h := lo; h < r.Hi; h++ {
+			if cache != nil && cache.peek(h, now) {
+				continue // replay's lookup will hit; nothing to compute
+			}
+			ok, cur, deadline, minArr, cost := v.fixpoint(h, w, narr)
+			vu := vtime.Infinity // FAIL holds for the rest of the epoch
+			if ok {
+				vu = now.Add(horizonOf(cur, deadline, minArr))
+			}
+			ps.ok[h] = ok
+			ps.valid[h] = vu
+			ps.iters[h] = cost.iters
+			ps.terms[h] = cost.terms
+			ps.done[h] = true
+		}
+	}
+}
+
+// testVerdict is the replay-phase counterpart of stateView.testVerdict:
+// identical cache interaction and counter accounting, with the fixpoint
+// replaced by the recorded speculation result.
+func (ps *parState) testVerdict(h int, res *SearchResult) bool {
+	v, cache := ps.v, ps.cache
+	if cache != nil {
+		if ok, hit := cache.lookup(h, v.now); hit {
+			return ok
+		}
+	}
+	res.Tests++
+	if !ps.done[h] {
+		// Defensive inline fallback. Unreachable while peek and lookup agree
+		// (they read the same entry — see the file comment); kept so a future
+		// cache change degrades to correct-but-slower instead of wrong.
+		v.extend(h)
+		ok, cur, deadline, minArr, cost := v.fixpoint(h, ps.w, v.narr)
+		res.FixpointIters += cost.iters
+		res.InterferenceTerms += cost.terms
+		if cache != nil {
+			vu := vtime.Infinity
+			if ok {
+				vu = v.now.Add(horizonOf(cur, deadline, minArr))
+			}
+			cache.store(h, ok, vu)
+		}
+		return ok
+	}
+	res.FixpointIters += ps.iters[h]
+	res.InterferenceTerms += ps.terms[h]
+	if cache != nil {
+		cache.store(h, ps.ok[h], ps.valid[h])
+	}
+	return ps.ok[h]
+}
+
+// searchParallel is stateView.search with the fixpoints precomputed across
+// the pool. It falls back to the sequential search when the span is too
+// small to amortize a dispatch, when the pool is effectively sequential, or
+// when the per-iteration test hook is armed (the hook observes iteration
+// order, which speculation would scramble).
+func (p *Policy) searchParallel(v *stateView, pool *shard.Pool, ranges []shard.Range, scratch []int, cache *Cache) SearchResult {
+	c0 := v.ready.First()
+	n := v.n()
+	if c0 < 0 || n-c0 < parMinSpan || pool.Workers() < 2 || fixpointIterHook != nil {
+		return v.search(p.quantum, scratch, cache)
+	}
+	p.par.prepare(v, cache, p.quantum, c0, pool, ranges)
+	v.extend(n - 1) // freeze the hoisted terms before the workers read them
+	pool.Run(p.par.fn)
+	return p.replaySearch(scratch)
+}
+
+// replaySearch mirrors stateView.search line for line — same first-candidate
+// handling, same incremental coverage between candidates, same idle tail —
+// with parState.testVerdict consuming the speculation records. Any change to
+// search must be mirrored here; the equivalence test in parallel_test.go and
+// the full-counter shard differential pin the two against each other.
+func (p *Policy) replaySearch(scratch []int) SearchResult {
+	ps := &p.par
+	v := ps.v
+	res := SearchResult{Candidates: scratch[:0]}
+	examined := 0
+	first := true
+	failed := false
+	v.ready.ForEachSet(func(i int) bool {
+		if first {
+			res.Candidates = append(res.Candidates, i)
+			if examined < i {
+				examined = i
+			}
+			first = false
+			return true
+		}
+		for h := examined; h < i; h++ {
+			if !ps.testVerdict(h, &res) {
+				failed = true
+				return false
+			}
+			examined = h + 1
+		}
+		res.Candidates = append(res.Candidates, i)
+		if examined < i {
+			examined = i
+		}
+		return true
+	})
+	if failed || first {
+		return res
+	}
+	idleOK := true
+	for h := examined; h < v.n(); h++ {
+		if !ps.testVerdict(h, &res) {
+			idleOK = false
+			break
+		}
+		examined = h + 1
+	}
+	res.IdleOK = idleOK
+	return res
+}

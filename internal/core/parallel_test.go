@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"timedice/internal/rng"
+	"timedice/internal/shard"
+	"timedice/internal/vtime"
+)
+
+// TestPeekMatchesLookup pins the contract the speculation phase stands on:
+// peek returns exactly lookup's hit decision and mutates nothing.
+func TestPeekMatchesLookup(t *testing.T) {
+	r := rng.New(7)
+	now := vtime.Time(9 * vtime.Millisecond)
+	const n = 40
+	c := &Cache{}
+	stamps := make([]uint64, n)
+	for i := range stamps {
+		stamps[i] = uint64(r.Intn(4))
+	}
+	c.begin(stamps, n)
+	// Populate a mix of entries: valid, expired, stale-stamped, and never
+	// stored.
+	for h := 0; h < n; h++ {
+		switch r.Intn(4) {
+		case 0:
+			c.store(h, r.Intn(2) == 0, now.Add(vtime.Duration(r.Intn(int(vtime.Millisecond)))))
+		case 1:
+			c.store(h, true, now.Add(-1)) // expired
+		case 2:
+			c.entries[h] = verdictEntry{stamp: 0, validUntil: vtime.Infinity} // possibly stale stamp
+		}
+	}
+	for h := 0; h < n; h++ {
+		hitsBefore, missesBefore, validBefore := c.hits, c.misses, c.searchValid
+		pk := c.peek(h, now)
+		if c.hits != hitsBefore || c.misses != missesBefore || c.searchValid != validBefore {
+			t.Fatalf("h=%d: peek mutated cache state", h)
+		}
+		_, hit := c.lookup(h, now)
+		if pk != hit {
+			t.Fatalf("h=%d: peek = %v, lookup hit = %v", h, pk, hit)
+		}
+	}
+}
+
+// TestParallelSearchMatchesSequential is the decision-phase half of the
+// exactness contract: on random snapshots the speculate-then-replay search
+// must reproduce the sequential search byte for byte — candidates, idle
+// eligibility, test/iteration/term counts, cache hit/miss counters,
+// searchValid, and the full memoized entry table — across worker counts,
+// shard counts (including shards ≫ n, i.e. empty shards), warm and cold
+// caches, and with the cache disabled. Run under -race this is also the
+// concurrency test for speculative fixpoints over one shared read-only view.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	r := rng.New(0x5eed)
+	w := DefaultQuantum
+	for _, workers := range []int{2, 4, 8} {
+		pool := shard.NewPool(workers)
+		for trial := 0; trial < 120; trial++ {
+			n := parMinSpan + r.Intn(80)
+			now := vtime.Time(11 * vtime.Millisecond)
+			states := randomStates(r, n, now)
+			v := viewFromStates(states, now)
+			shards := []int{2, 4 * workers, n, 3 * n}[trial%4]
+			ranges := shard.Split(n, shards)
+			stamps := make([]uint64, n)
+			for i := range stamps {
+				stamps[i] = uint64(r.Intn(3))
+			}
+
+			// Cache-less round: every verdict recomputed on both sides.
+			seqRes := v.search(w, nil, nil)
+			p := &Policy{quantum: w}
+			parRes := p.searchParallel(v, pool, ranges, nil, nil)
+			compareSearchFull(t, trial, workers, "nocache", seqRes, parRes)
+
+			// Two cached rounds against the same snapshot: the first all
+			// misses, the second (same stamps, slightly later instant) a mix
+			// of hits, expirations, and fresh stores.
+			sc, pc := &Cache{}, &Cache{}
+			for round, dt := range []vtime.Duration{0, vtime.Millisecond / 4} {
+				at := now.Add(dt)
+				v2 := viewFromStates(states, at)
+				sc.begin(stamps, n)
+				seqRes = v2.search(w, nil, sc)
+				pc.begin(stamps, n)
+				parRes = p.searchParallel(v2, pool, ranges, nil, pc)
+				compareSearchFull(t, trial, workers, "cached", seqRes, parRes)
+				if sc.hits != pc.hits || sc.misses != pc.misses || sc.searchValid != pc.searchValid {
+					t.Fatalf("workers=%d trial %d round %d: cache counters diverge: seq %d/%d valid %v, par %d/%d valid %v",
+						workers, trial, round, sc.hits, sc.misses, sc.searchValid, pc.hits, pc.misses, pc.searchValid)
+				}
+				for h := 0; h < n; h++ {
+					if sc.entries[h] != pc.entries[h] {
+						t.Fatalf("workers=%d trial %d round %d: entry %d diverges: seq %+v, par %+v",
+							workers, trial, round, h, sc.entries[h], pc.entries[h])
+					}
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+func compareSearchFull(t *testing.T, trial, workers int, ctx string, seq, par SearchResult) {
+	t.Helper()
+	if seq.IdleOK != par.IdleOK || seq.Tests != par.Tests ||
+		seq.FixpointIters != par.FixpointIters || seq.InterferenceTerms != par.InterferenceTerms {
+		t.Fatalf("workers=%d trial %d %s: seq (idle %v, tests %d, iters %d, terms %d) vs par (idle %v, tests %d, iters %d, terms %d)",
+			workers, trial, ctx, seq.IdleOK, seq.Tests, seq.FixpointIters, seq.InterferenceTerms,
+			par.IdleOK, par.Tests, par.FixpointIters, par.InterferenceTerms)
+	}
+	if len(seq.Candidates) != len(par.Candidates) {
+		t.Fatalf("workers=%d trial %d %s: %d vs %d candidates", workers, trial, ctx, len(seq.Candidates), len(par.Candidates))
+	}
+	for i := range seq.Candidates {
+		if seq.Candidates[i] != par.Candidates[i] {
+			t.Fatalf("workers=%d trial %d %s: candidate %d: %d vs %d", workers, trial, ctx, i, seq.Candidates[i], par.Candidates[i])
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"timedice/internal/check"
 	"timedice/internal/engine"
 	"timedice/internal/model"
 	"timedice/internal/policies"
@@ -99,10 +100,19 @@ type System struct {
 	// SourceCore maps source-spec partition index → (core, local index).
 	SourceCore  []int
 	SourceLocal []int
+	// digests are the per-core stream digesters installed by AttachDigests,
+	// in core index order; nil until attached.
+	digests []*check.Digester
 }
 
 // New splits spec per the assignment and builds one engine per core, all
-// under the same policy kind; core c uses seed+c.
+// under the same policy kind. Per-core RNG streams are derived by repeated
+// Split from one base generator seeded with seed — NOT seed+c, which made
+// adjacent multicore seeds share streams (system(seed)'s core c+1 ran the
+// identical stream as system(seed+1)'s core c, so two "independent" trials
+// of a sweep were correlated wherever their core layouts aligned). The split
+// chain keeps each core's stream a deterministic function of (seed, core
+// index) while decorrelating across both axes.
 func New(spec model.SystemSpec, asg Assignment, kind policies.Kind, seed uint64) (*System, error) {
 	if len(asg.CoreOf) != len(spec.Partitions) {
 		return nil, fmt.Errorf("multicore: assignment covers %d partitions, spec has %d",
@@ -112,6 +122,7 @@ func New(spec model.SystemSpec, asg Assignment, kind policies.Kind, seed uint64)
 		SourceCore:  make([]int, len(spec.Partitions)),
 		SourceLocal: make([]int, len(spec.Partitions)),
 	}
+	base := rng.New(seed)
 	perCore := asg.PerCore()
 	for c, idxs := range perCore {
 		sub := model.SystemSpec{Name: fmt.Sprintf("%s/core%d", spec.Name, c)}
@@ -120,6 +131,10 @@ func New(spec model.SystemSpec, asg Assignment, kind policies.Kind, seed uint64)
 			sys.SourceCore[pi] = c
 			sys.SourceLocal[pi] = local
 		}
+		// One split per core slot, drawn before the empty-core skip so core
+		// c's stream depends only on (seed, c), not on which other slots
+		// happen to be populated.
+		coreRand := base.Split()
 		if len(sub.Partitions) == 0 {
 			continue
 		}
@@ -131,7 +146,7 @@ func New(spec model.SystemSpec, asg Assignment, kind policies.Kind, seed uint64)
 		if err != nil {
 			return nil, fmt.Errorf("core %d: %w", c, err)
 		}
-		eng, err := engine.New(built.Partitions, pol, rng.New(seed+uint64(c)))
+		eng, err := engine.New(built.Partitions, pol, coreRand)
 		if err != nil {
 			return nil, fmt.Errorf("core %d: %w", c, err)
 		}

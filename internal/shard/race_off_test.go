@@ -1,0 +1,8 @@
+//go:build !race
+
+package shard
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; the zero-allocation pin is skipped under it (instrumentation
+// allocates on paths the contract does not cover).
+const raceEnabled = false

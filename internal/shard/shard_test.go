@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitProperties(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{0, 1}, {0, 4}, {1, 1}, {1, 4}, {5, 2}, {7, 3}, {64, 8},
+		{100, 7}, {3, 8}, {16384, 16}, {10, 0}, {10, -2},
+	} {
+		rs := Split(tc.n, tc.k)
+		wantK := tc.k
+		if wantK <= 0 {
+			wantK = 1
+		}
+		if len(rs) != wantK {
+			t.Fatalf("Split(%d,%d): %d ranges, want %d", tc.n, tc.k, len(rs), wantK)
+		}
+		// Contiguous ascending cover of [0, n).
+		lo := 0
+		minLen, maxLen := tc.n+1, -1
+		for _, r := range rs {
+			if r.Lo != lo || r.Hi < r.Lo {
+				t.Fatalf("Split(%d,%d): bad range %+v at lo=%d", tc.n, tc.k, r, lo)
+			}
+			lo = r.Hi
+			if l := r.Len(); l < minLen {
+				minLen = l
+			}
+			if l := r.Len(); l > maxLen {
+				maxLen = l
+			}
+		}
+		if lo != tc.n {
+			t.Fatalf("Split(%d,%d): covers [0,%d), want [0,%d)", tc.n, tc.k, lo, tc.n)
+		}
+		if maxLen-minLen > 1 {
+			t.Errorf("Split(%d,%d): shard sizes differ by %d, want <=1", tc.n, tc.k, maxLen-minLen)
+		}
+	}
+}
+
+func TestPoolRunsEveryWorkerOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		p := NewPool(w)
+		counts := make([]atomic.Int64, w)
+		for round := 0; round < 50; round++ {
+			p.Run(func(id int) { counts[id].Add(1) })
+		}
+		for id := range counts {
+			if got := counts[id].Load(); got != 50 {
+				t.Errorf("workers=%d: worker %d ran %d times, want 50", w, id, got)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolPublishes pins the happens-before contract: values written by the
+// caller before Run are visible to every worker, and per-worker results
+// written during Run are visible to the caller after Run. Run under -race
+// this is the memory-model test for the engine's sharded phases.
+func TestPoolPublishes(t *testing.T) {
+	const w = 4
+	p := NewPool(w)
+	defer p.Close()
+	in := make([]int, w)
+	out := make([]int, w)
+	for round := 1; round <= 100; round++ {
+		for i := range in {
+			in[i] = round * (i + 1)
+		}
+		p.Run(func(id int) { out[id] = in[id] * 2 })
+		for i := range out {
+			if out[i] != 2*round*(i+1) {
+				t.Fatalf("round %d: out[%d] = %d, want %d", round, i, out[i], 2*round*(i+1))
+			}
+		}
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(4)
+	p.Run(func(int) {})
+	p.Close()
+	p.Close()
+	p1 := NewPool(1)
+	p1.Close()
+	p1.Close()
+}
+
+func TestPoolSingleWorkerInline(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ran := false
+	p.Run(func(id int) {
+		if id != 0 {
+			t.Fatalf("inline worker id %d", id)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("inline Run did not execute")
+	}
+}
+
+// TestPoolDispatchZeroAlloc pins the steady-state cost contract: a Run round
+// with a prebuilt closure allocates nothing.
+func TestPoolDispatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the pin runs in the non-race CI lane")
+	}
+	p := NewPool(4)
+	defer p.Close()
+	var sink [4]int64
+	fn := func(id int) { sink[id]++ }
+	p.Run(fn) // warm
+	allocs := testing.AllocsPerRun(100, func() { p.Run(fn) })
+	if allocs != 0 {
+		t.Errorf("pool dispatch allocates %.1f times per round, want 0", allocs)
+	}
+}
